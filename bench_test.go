@@ -1,0 +1,246 @@
+// Package quark holds the repository-level benchmark harness: one
+// testing.B benchmark per table/figure of the paper's evaluation
+// (Section 6 and Appendix G), plus ablations for the design choices called
+// out in DESIGN.md. Benchmarks run at a reduced scale by default so
+// `go test -bench=.` completes quickly; cmd/benchrunner regenerates the
+// figures at paper scale.
+package quark
+
+import (
+	"fmt"
+	"testing"
+
+	"quark/internal/core"
+	"quark/internal/workload"
+)
+
+// benchScale keeps default runs fast; benchrunner uses paper scale.
+func benchParams() workload.Params {
+	return workload.Params{
+		Depth:        2,
+		LeafTuples:   32 * 1024,
+		Fanout:       64,
+		NumTriggers:  1000,
+		NumSatisfied: 1,
+	}
+}
+
+func runUpdates(b *testing.B, w *workload.Setup) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.UpdateOneLeaf(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if w.Notifications == 0 {
+		b.Fatal("no notifications fired; benchmark is not exercising the pipeline")
+	}
+}
+
+// BenchmarkFig17NumTriggers reproduces Figure 17: per-update time as the
+// number of structurally similar triggers grows, for UNGROUPED, GROUPED,
+// and GROUPED-AGG. UNGROUPED grows with the trigger count; the grouped
+// modes stay flat.
+func BenchmarkFig17NumTriggers(b *testing.B) {
+	for _, mode := range []core.Mode{core.ModeUngrouped, core.ModeGrouped, core.ModeGroupedAgg} {
+		for _, n := range []int{1, 10, 100, 1000} {
+			if mode == core.ModeUngrouped && n > 100 {
+				// One SQL trigger set per XML trigger: quadratic bench time.
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/triggers=%d", mode, n), func(b *testing.B) {
+				p := benchParams()
+				p.NumTriggers = n
+				w, err := workload.Build(p, mode, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runUpdates(b, w)
+			})
+		}
+	}
+}
+
+// BenchmarkFig18Depth reproduces Figure 18: per-update time vs hierarchy
+// depth (roughly linear growth).
+func BenchmarkFig18Depth(b *testing.B) {
+	for _, mode := range []core.Mode{core.ModeGrouped, core.ModeGroupedAgg} {
+		for _, d := range []int{2, 3, 4, 5} {
+			b.Run(fmt.Sprintf("%s/depth=%d", mode, d), func(b *testing.B) {
+				p := benchParams()
+				p.Depth = d
+				w, err := workload.Build(p, mode, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runUpdates(b, w)
+			})
+		}
+	}
+}
+
+// BenchmarkFig22Fanout reproduces Figure 22 (Appendix G.1): per-update time
+// vs leaf tuples per XML element (mild growth: larger OLD/NEW nodes).
+func BenchmarkFig22Fanout(b *testing.B) {
+	for _, mode := range []core.Mode{core.ModeGrouped, core.ModeGroupedAgg} {
+		for _, f := range []int{16, 32, 64, 128, 256} {
+			b.Run(fmt.Sprintf("%s/fanout=%d", mode, f), func(b *testing.B) {
+				p := benchParams()
+				p.Fanout = f
+				w, err := workload.Build(p, mode, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runUpdates(b, w)
+			})
+		}
+	}
+}
+
+// BenchmarkFig23DataSize reproduces Figure 23 (Appendix G.2): per-update
+// time vs number of leaf tuples (flat: no materialization, index access
+// only touches affected keys).
+func BenchmarkFig23DataSize(b *testing.B) {
+	for _, mode := range []core.Mode{core.ModeGrouped, core.ModeGroupedAgg} {
+		for _, n := range []int{32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024} {
+			b.Run(fmt.Sprintf("%s/leaves=%d", mode, n), func(b *testing.B) {
+				p := benchParams()
+				p.LeafTuples = n
+				w, err := workload.Build(p, mode, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runUpdates(b, w)
+			})
+		}
+	}
+}
+
+// BenchmarkFig24Satisfied reproduces Figure 24 (Appendix G.3): per-update
+// time vs number of satisfied triggers (linear in the activations).
+func BenchmarkFig24Satisfied(b *testing.B) {
+	for _, mode := range []core.Mode{core.ModeGrouped, core.ModeGroupedAgg} {
+		for _, s := range []int{1, 20, 40, 80, 100} {
+			b.Run(fmt.Sprintf("%s/satisfied=%d", mode, s), func(b *testing.B) {
+				p := benchParams()
+				p.NumSatisfied = s
+				w, err := workload.Build(p, mode, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runUpdates(b, w)
+			})
+		}
+	}
+}
+
+// BenchmarkTriggerCompile measures XML-trigger compile time (paper §6:
+// "fairly small (a hundred milliseconds, even for a complex view)").
+func BenchmarkTriggerCompile(b *testing.B) {
+	p := benchParams()
+	p.NumTriggers = 1
+	w, err := workload.Build(p, core.ModeGrouped, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("bench%d", i)
+		src := fmt.Sprintf(`CREATE TRIGGER %s AFTER UPDATE ON view('doc')/e0 WHERE NEW_NODE/@name = 'x%d' DO notify(NEW_NODE)`, name, i)
+		if err := w.Engine.CreateTrigger(src); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Engine.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBOld isolates the Section 5.2 optimization: GROUPED
+// (direct B_old aggregation) vs GROUPED-AGG (delta-derived old aggregates)
+// at a fanout where aggregation cost matters.
+func BenchmarkAblationBOld(b *testing.B) {
+	for _, mode := range []core.Mode{core.ModeGrouped, core.ModeGroupedAgg} {
+		b.Run(mode.String(), func(b *testing.B) {
+			p := benchParams()
+			p.Fanout = 256
+			w, err := workload.Build(p, mode, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runUpdates(b, w)
+		})
+	}
+}
+
+// BenchmarkAblationMaterialized compares the translated-trigger approach
+// against the materialize-and-diff strawman (Section 1): the strawman's
+// per-update cost grows with view size; GROUPED's does not. Kept at small
+// scale — the strawman is quadratic in practice.
+func BenchmarkAblationMaterialized(b *testing.B) {
+	for _, mode := range []core.Mode{core.ModeGrouped, core.ModeMaterialized} {
+		for _, n := range []int{1024, 4096} {
+			b.Run(fmt.Sprintf("%s/leaves=%d", mode, n), func(b *testing.B) {
+				p := benchParams()
+				p.LeafTuples = n
+				p.NumTriggers = 10
+				w, err := workload.Build(p, mode, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runUpdates(b, w)
+			})
+		}
+	}
+}
+
+// TestTable2ParameterGrid smoke-tests every Table 2 parameter value at
+// reduced scale (experiment E7 in DESIGN.md).
+func TestTable2ParameterGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid smoke test skipped in -short mode")
+	}
+	base := workload.Params{Depth: 2, LeafTuples: 1024, Fanout: 16, NumTriggers: 50, NumSatisfied: 1}
+	cases := []workload.Params{}
+	for _, d := range []int{2, 3, 4, 5} {
+		p := base
+		p.Depth = d
+		cases = append(cases, p)
+	}
+	for _, f := range []int{16, 32, 64} {
+		p := base
+		p.Fanout = f
+		cases = append(cases, p)
+	}
+	for _, n := range []int{1, 10, 100} {
+		p := base
+		p.NumTriggers = n
+		cases = append(cases, p)
+	}
+	for _, s := range []int{1, 20, 50} {
+		p := base
+		p.NumSatisfied = s
+		cases = append(cases, p)
+	}
+	for _, p := range cases {
+		w, err := workload.Build(p, core.ModeGroupedAgg, 1)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if err := w.UpdateOneLeaf(); err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if w.Notifications != min(p.NumSatisfied, p.NumTriggers) {
+			t.Errorf("%+v: notifications = %d", p, w.Notifications)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,207 @@
+// Command benchrunner regenerates the paper's evaluation figures
+// (Figures 17, 18, 22, 23, 24) as printed series: for each x-axis value it
+// builds the Table 2 workload, performs a batch of independent single-row
+// leaf updates, and reports the average time per update for each system
+// (UNGROUPED / GROUPED / GROUPED-AGG).
+//
+//	benchrunner -fig 17            # one figure
+//	benchrunner -fig all -scale 1  # everything at paper scale (slow)
+//	benchrunner -fig 23 -scale 0.25 -updates 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"quark/internal/core"
+	"quark/internal/workload"
+)
+
+var (
+	figFlag     = flag.String("fig", "all", "figure to regenerate: 17, 18, 22, 23, 24, compile, or all")
+	scaleFlag   = flag.Float64("scale", 0.25, "data scale factor (1.0 = paper scale: 128K leaf tuples default)")
+	updatesFlag = flag.Int("updates", 100, "independent updates per measurement (paper: 100)")
+	maxTrigFlag = flag.Int("maxtriggers", 10000, "cap on trigger-count sweep (paper sweeps to 100,000)")
+)
+
+func defaults() workload.Params {
+	p := workload.Default()
+	p.LeafTuples = int(float64(p.LeafTuples) * *scaleFlag)
+	if p.LeafTuples < p.Fanout*4 {
+		p.LeafTuples = p.Fanout * 4
+	}
+	p.NumTriggers = int(float64(p.NumTriggers) * *scaleFlag)
+	if p.NumTriggers < 10 {
+		p.NumTriggers = 10
+	}
+	return p
+}
+
+func measure(p workload.Params, mode core.Mode) (time.Duration, error) {
+	w, err := workload.Build(p, mode, 42)
+	if err != nil {
+		return 0, err
+	}
+	// Warm-up update (index/plan caches).
+	if err := w.UpdateOneLeaf(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < *updatesFlag; i++ {
+		if err := w.UpdateOneLeaf(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(*updatesFlag), nil
+}
+
+func header(title string, modes []core.Mode) {
+	fmt.Printf("\n%s\n", title)
+	fmt.Printf("%-14s", "x")
+	for _, m := range modes {
+		fmt.Printf("%16s", m)
+	}
+	fmt.Println("  (avg ms per update)")
+}
+
+func row(x string, p workload.Params, modes []core.Mode) {
+	fmt.Printf("%-14s", x)
+	for _, m := range modes {
+		d, err := measure(p, m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "\n%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%16.3f", float64(d.Microseconds())/1000.0)
+	}
+	fmt.Println()
+}
+
+func fig17() {
+	modes := []core.Mode{core.ModeUngrouped, core.ModeGrouped, core.ModeGroupedAgg}
+	header("Figure 17: varying the number of triggers", modes)
+	for _, n := range []int{1, 10, 100, 1000, 10000, 100000} {
+		if n > *maxTrigFlag {
+			break
+		}
+		p := defaults()
+		p.NumTriggers = n
+		if n > 100 {
+			// UNGROUPED at large trigger counts takes minutes per update;
+			// report the grouped modes only (the paper's point exactly).
+			modes2 := []core.Mode{core.ModeGrouped, core.ModeGroupedAgg}
+			fmt.Printf("%-14d%16s", n, "(skipped)")
+			for _, m := range modes2 {
+				d, err := measure(p, m)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("%16.3f", float64(d.Microseconds())/1000.0)
+			}
+			fmt.Println()
+			continue
+		}
+		row(fmt.Sprint(n), p, modes)
+	}
+}
+
+func fig18() {
+	modes := []core.Mode{core.ModeGrouped, core.ModeGroupedAgg}
+	header("Figure 18: varying the hierarchy depth", modes)
+	for _, d := range []int{2, 3, 4, 5} {
+		p := defaults()
+		p.Depth = d
+		row(fmt.Sprint(d), p, modes)
+	}
+}
+
+func fig22() {
+	modes := []core.Mode{core.ModeGrouped, core.ModeGroupedAgg}
+	header("Figure 22: varying the fanout (leaf tuples per XML element)", modes)
+	for _, f := range []int{16, 32, 64, 128, 256} {
+		p := defaults()
+		p.Fanout = f
+		row(fmt.Sprint(f), p, modes)
+	}
+}
+
+func fig23() {
+	modes := []core.Mode{core.ModeGrouped, core.ModeGroupedAgg}
+	header("Figure 23: varying the number of leaf tuples (data size)", modes)
+	for _, n := range []int{32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024} {
+		scaled := int(float64(n) * *scaleFlag)
+		if scaled < 1024 {
+			scaled = 1024
+		}
+		p := defaults()
+		p.LeafTuples = scaled
+		row(fmt.Sprintf("%dK", scaled/1024), p, modes)
+	}
+}
+
+func fig24() {
+	modes := []core.Mode{core.ModeGrouped, core.ModeGroupedAgg}
+	header("Figure 24: varying the number of satisfied triggers", modes)
+	for _, s := range []int{1, 20, 40, 80, 100} {
+		p := defaults()
+		p.NumSatisfied = s
+		row(fmt.Sprint(s), p, modes)
+	}
+}
+
+func figCompile() {
+	fmt.Println("\nTrigger compile time (paper §6: ~100 ms on 2003 hardware)")
+	p := defaults()
+	p.NumTriggers = 1
+	w, err := workload.Build(p, core.ModeGrouped, 42)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	const n = 20
+	for i := 0; i < n; i++ {
+		src := fmt.Sprintf(`CREATE TRIGGER c%d AFTER UPDATE ON view('doc')/e0 WHERE NEW_NODE/@name = 'x%d' DO notify(NEW_NODE)`, i, i)
+		if err := w.Engine.CreateTrigger(src); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := w.Engine.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("average compile+install time: %.3f ms\n", float64(time.Since(start).Microseconds())/1000.0/n)
+}
+
+func main() {
+	flag.Parse()
+	fmt.Printf("quark benchrunner: scale=%.2f updates/point=%d\n", *scaleFlag, *updatesFlag)
+	switch *figFlag {
+	case "17":
+		fig17()
+	case "18":
+		fig18()
+	case "22":
+		fig22()
+	case "23":
+		fig23()
+	case "24":
+		fig24()
+	case "compile":
+		figCompile()
+	case "all":
+		fig17()
+		fig18()
+		fig22()
+		fig23()
+		fig24()
+		figCompile()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
+		os.Exit(2)
+	}
+}

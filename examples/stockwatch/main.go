@@ -1,0 +1,122 @@
+// Stockwatch: the paper's introduction motivates active views with web
+// services where buyers subscribe to interesting events instead of polling.
+// Here a brokerage publishes sector -> stock quotes as an XML view; many
+// clients register structurally similar watch triggers differing only in
+// their constants — exactly the Section 5.1 grouping scenario. All the
+// watches share a single SQL trigger per (table, event).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"quark/internal/core"
+	"quark/internal/reldb"
+	"quark/internal/schema"
+	"quark/internal/xdm"
+)
+
+func main() {
+	s := schema.New()
+	s.MustAddTable(&schema.Table{
+		Name: "sector",
+		Columns: []schema.Column{
+			{Name: "sid", Type: schema.TInt},
+			{Name: "name", Type: schema.TString},
+		},
+		PrimaryKey: []string{"sid"},
+	})
+	s.MustAddTable(&schema.Table{
+		Name: "quote",
+		Columns: []schema.Column{
+			{Name: "symbol", Type: schema.TString},
+			{Name: "sid", Type: schema.TInt},
+			{Name: "price", Type: schema.TFloat},
+		},
+		PrimaryKey:  []string{"symbol"},
+		ForeignKeys: []schema.ForeignKey{{Columns: []string{"sid"}, RefTable: "sector", RefColumns: []string{"sid"}}},
+	})
+	db, err := reldb.Open(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(db.Insert("sector",
+		reldb.Row{xdm.Int(1), xdm.Str("tech")},
+		reldb.Row{xdm.Int(2), xdm.Str("energy")},
+	))
+	must(db.Insert("quote",
+		reldb.Row{xdm.Str("QRK"), xdm.Int(1), xdm.Float(31.40)},
+		reldb.Row{xdm.Str("XML"), xdm.Int(1), xdm.Float(12.25)},
+		reldb.Row{xdm.Str("DB2"), xdm.Int(1), xdm.Float(88.00)},
+		reldb.Row{xdm.Str("OIL"), xdm.Int(2), xdm.Float(55.10)},
+		reldb.Row{xdm.Str("GAS"), xdm.Int(2), xdm.Float(23.75)},
+	))
+
+	engine := core.NewEngine(db, core.ModeGrouped)
+	engine.RegisterAction("notifyClient", func(inv core.Invocation) error {
+		sec, _ := inv.New.Attribute("name")
+		fmt.Printf("  -> %s: sector %q moved; cheapest entry now %s\n",
+			inv.Trigger, sec, cheapest(inv))
+		return nil
+	})
+
+	_, err = engine.CreateView("market", `
+<market>
+{for $s in view('default')/sector/row
+ let $quotes := view('default')/quote/row[./sid = $s/sid]
+ where count($quotes) >= 1
+ return <sector name={$s/name}>
+   {for $q in $quotes return <stock symbol={$q/symbol} price={$q/price}></stock>}
+ </sector>}
+</market>`)
+	must(err)
+
+	// 200 clients watch sectors with per-client thresholds: structurally
+	// identical conditions, different constants -> one trigger group.
+	for i := 0; i < 200; i++ {
+		sector := "tech"
+		if i%2 == 1 {
+			sector = "energy"
+		}
+		threshold := 10 + i%40
+		must(engine.CreateTrigger(fmt.Sprintf(`
+			CREATE TRIGGER client%03d AFTER UPDATE ON view('market')/sector
+			WHERE NEW_NODE/@name = '%s'
+			  and count(NEW_NODE/stock[./@price < %d]) >= 1
+			DO notifyClient(NEW_NODE)`, i, sector, threshold)))
+	}
+	must(engine.Flush())
+	st := engine.Stats()
+	fmt.Printf("%d watch triggers translated into %d SQL trigger(s) in %d group(s)\n\n",
+		st.XMLTriggers, st.SQLTriggers, st.Groups)
+
+	fmt.Println("XML (tech) dips to 9.80:")
+	_, err = engine.UpdateByPK("quote", []xdm.Value{xdm.Str("XML")}, func(r reldb.Row) reldb.Row {
+		r[2] = xdm.Float(9.80)
+		return r
+	})
+	must(err)
+	after := engine.Stats()
+	fmt.Printf("\nactivated %d of %d watches with a single SQL trigger firing\n",
+		after.Actions, st.XMLTriggers)
+}
+
+func cheapest(inv core.Invocation) string {
+	best := ""
+	bestP := 1e18
+	for _, st := range inv.New.ChildElements("stock") {
+		p, _ := st.Attribute("price")
+		v := xdm.ParseTyped(p)
+		if v.AsFloat() < bestP {
+			bestP = v.AsFloat()
+			sym, _ := st.Attribute("symbol")
+			best = fmt.Sprintf("%s @ %s", sym, p)
+		}
+	}
+	return best
+}

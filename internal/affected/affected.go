@@ -1,0 +1,662 @@
+// Package affected implements the paper's central algorithms (Section 4):
+//
+//   - CreateAKGraph (Figure 8): given a view graph and a transition table,
+//     build an XQGM graph producing the canonical keys of exactly the view
+//     tuples affected by the relational update — correct even under
+//     arbitrarily nested predicates (the Section 4.1 challenge).
+//   - CreateANGraph (Figure 12): combine the Δ-side and ∇-side affected
+//     keys, join back with G and G_old, and produce (OLD_NODE, NEW_NODE)
+//     pairs with the event-specific join (inner / left-anti / right-anti).
+//   - InjectiveFor (Appendix F): the sufficient conditions for injective
+//     views, which let the spurious-update value comparison be dropped when
+//     pruned transition tables are used (Theorem 3).
+package affected
+
+import (
+	"fmt"
+
+	"quark/internal/pushdown"
+	"quark/internal/reldb"
+	"quark/internal/schema"
+	"quark/internal/xqgm"
+)
+
+// Options tunes CreateANGraph.
+type Options struct {
+	// Prune uses the pruned transition tables Δ' = Δ−∇ and ∇' = ∇−Δ
+	// (Definition 8) instead of the raw ones.
+	Prune bool
+	// SkipValueCompare drops the final OLD_NODE ≠ NEW_NODE selection for
+	// UPDATE events (sound for injective views with pruning, Theorem 3).
+	SkipValueCompare bool
+	// CompareCols, when non-empty, restricts the UPDATE-event value
+	// comparison to these columns of the view output instead of comparing
+	// whole nodes (Appendix F.4: pushing the comparison down to aggregate
+	// columns for views that are injective except for scalar aggregates).
+	CompareCols []int
+	// OldAggDelta enables the Section 5.2 GROUPED-AGG optimization:
+	// distributive aggregates on the B_old side are derived from the new
+	// aggregates plus the transition tables instead of recomputed.
+	OldAggDelta bool
+	// ElideOldXMLFrag additionally allows OldAggDelta to rewrite GroupBys
+	// containing aggXMLFrag aggregates by replacing the OLD side's XML
+	// fragments with NULL. Sound only when the trigger never reads
+	// OLD_NODE content (the engine checks this before enabling it).
+	ElideOldXMLFrag bool
+}
+
+// ANGraph is the result of CreateANGraph: a graph whose output rows carry
+// both versions of each affected view tuple.
+type ANGraph struct {
+	Root  *xqgm.Operator
+	Event reldb.Event // the XML-level event the graph detects
+	Table string
+
+	keyWidth  int // width of the affected-key union Ou
+	viewWidth int // width of the (extended) view output
+}
+
+// NewCol returns the output position of view column i's post-update value.
+func (g *ANGraph) NewCol(i int) int { return g.keyWidth + i }
+
+// OldCol returns the output position of view column i's pre-update value.
+func (g *ANGraph) OldCol(i int) int { return g.keyWidth + g.viewWidth + g.keyWidth + i }
+
+// ViewWidth reports the width of the (possibly key-extended) view output.
+func (g *ANGraph) ViewWidth() int { return g.viewWidth }
+
+// CreateAKGraph implements Figure 8. It returns an operator O' and the
+// output columns K of o such that joining o with O' on K yields exactly the
+// tuples of o affected by the update captured in the transition table read
+// with source src (SrcDelta/SrcNabla or their pruned variants). O' outputs
+// the values of columns K in order. A nil operator means the update cannot
+// affect o.
+//
+// The graph rooted at o may be extended in place (key columns are appended
+// to Project outputs, mirroring "Add K to O.outputColumns"); callers should
+// pass a private clone.
+func CreateAKGraph(s *schema.Schema, o *xqgm.Operator, table string, src xqgm.TableSource) (*xqgm.Operator, []int, error) {
+	switch o.Type {
+	case xqgm.OpTable:
+		if o.Table != table {
+			return nil, nil, nil
+		}
+		def, ok := s.Table(table)
+		if !ok {
+			return nil, nil, fmt.Errorf("affected: unknown table %q", table)
+		}
+		if !def.HasPrimaryKey() {
+			return nil, nil, fmt.Errorf("affected: table %q has no primary key; view is not trigger-specifiable", table)
+		}
+		dt := xqgm.NewTable(def, src)
+		ak := xqgm.ProjectCols(dt, def.PKIndexes())
+		return ak, append([]int(nil), def.PKIndexes()...), nil
+
+	case xqgm.OpConstants:
+		return nil, nil, nil
+
+	case xqgm.OpSelect, xqgm.OpOrderBy:
+		// Select/Project "merely propagate the key column(s)".
+		return CreateAKGraph(s, o.Inputs[0], table, src)
+
+	case xqgm.OpProject:
+		ak, ki, err := CreateAKGraph(s, o.Inputs[0], table, src)
+		if err != nil || ak == nil {
+			return nil, nil, err
+		}
+		ko := make([]int, len(ki))
+		for i, ic := range ki {
+			ko[i] = ensureProjected(o, ic)
+		}
+		return ak, ko, nil
+
+	case xqgm.OpGroupBy:
+		in := o.Inputs[0]
+		akIn, ki, err := CreateAKGraph(s, in, table, src)
+		if err != nil || akIn == nil {
+			return nil, nil, err
+		}
+		// J ← Join(key(I'))(I, I'): pair input rows with affected keys.
+		on := make([]xqgm.JoinEq, len(ki))
+		for j, ic := range ki {
+			on[j] = xqgm.JoinEq{L: ic, R: j}
+		}
+		// Push the affected-key semijoin into I so the join touches only
+		// candidate rows (§5.2 pushdown; compare Figure 16's ProductCount
+		// CTE, which joins AffectedKeys before aggregating).
+		pushedIn, _ := pushdown.PushSemiJoin(in, akIn, ki)
+		j := xqgm.NewJoin(xqgm.JoinInner, pushedIn, akIn, on, nil)
+		// O' ← GroupBy(J) on O's grouping columns (distinct affected group
+		// keys); the group columns occupy the same positions in J as in I.
+		ak := xqgm.NewGroupBy(j, append([]int(nil), o.GroupCols...))
+		ko := make([]int, len(o.GroupCols))
+		for i := range o.GroupCols {
+			ko[i] = i
+		}
+		return ak, ko, nil
+
+	case xqgm.OpJoin:
+		if o.JoinKind == xqgm.JoinLeftOuter {
+			return createAKLeftOuter(s, o, table, src)
+		}
+		if o.JoinKind != xqgm.JoinInner {
+			return nil, nil, fmt.Errorf("affected: CreateAKGraph over %v joins is not supported in view definitions", o.JoinKind)
+		}
+		l, r := o.Inputs[0], o.Inputs[1]
+		lw := l.OutWidth()
+		akL, kl, err := CreateAKGraph(s, l, table, src)
+		if err != nil {
+			return nil, nil, err
+		}
+		akR, kr, err := CreateAKGraph(s, r, table, src)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case akL == nil && akR == nil:
+			return nil, nil, nil
+		case akR == nil:
+			return akL, append([]int(nil), kl...), nil
+		case akL == nil:
+			ko := make([]int, len(kr))
+			for i, c := range kr {
+				ko[i] = lw + c
+			}
+			return akR, ko, nil
+		default:
+			// Union of cross-products (Figure 8 lines 36-39):
+			//   Ja = Project(K)(Join(I'0, I1));  Jb = Project(K)(Join(I0, I'1))
+			ja := xqgm.NewJoin(xqgm.JoinInner, akL, r, nil, nil)
+			jaProjs := make([]xqgm.Proj, 0, len(kl)+len(kr))
+			for i := range kl {
+				jaProjs = append(jaProjs, xqgm.Proj{Name: fmt.Sprintf("k%d", i), E: xqgm.Col(i)})
+			}
+			for j, c := range kr {
+				jaProjs = append(jaProjs, xqgm.Proj{Name: fmt.Sprintf("k%d", len(kl)+j), E: xqgm.Col(len(kl) + c)})
+			}
+			pa := xqgm.NewProject(ja, jaProjs...)
+
+			jb := xqgm.NewJoin(xqgm.JoinInner, l, akR, nil, nil)
+			jbProjs := make([]xqgm.Proj, 0, len(kl)+len(kr))
+			for i, c := range kl {
+				jbProjs = append(jbProjs, xqgm.Proj{Name: fmt.Sprintf("k%d", i), E: xqgm.Col(c)})
+			}
+			for j := range kr {
+				jbProjs = append(jbProjs, xqgm.Proj{Name: fmt.Sprintf("k%d", len(kl)+j), E: xqgm.Col(lw + j)})
+			}
+			pb := xqgm.NewProject(jb, jbProjs...)
+
+			union := xqgm.NewUnion(true, pa, pb)
+			ko := make([]int, 0, len(kl)+len(kr))
+			ko = append(ko, kl...)
+			for _, c := range kr {
+				ko = append(ko, lw+c)
+			}
+			return union, ko, nil
+		}
+
+	case xqgm.OpUnion:
+		// For each affected input, join it back with its affected keys,
+		// project the union's full canonical key, and union the results
+		// (Figure 8 lines 43-53, made schema-uniform by projecting the
+		// output key from every branch).
+		xqgm.DeriveKeys(o)
+		if o.Key == nil {
+			return nil, nil, fmt.Errorf("affected: Union without canonical key")
+		}
+		var branches []*xqgm.Operator
+		for _, in := range o.Inputs {
+			akIn, ki, err := CreateAKGraph(s, in, table, src)
+			if err != nil {
+				return nil, nil, err
+			}
+			if akIn == nil {
+				continue
+			}
+			on := make([]xqgm.JoinEq, len(ki))
+			for j, ic := range ki {
+				on[j] = xqgm.JoinEq{L: ic, R: j}
+			}
+			pushedIn, _ := pushdown.PushSemiJoin(in, akIn, ki)
+			join := xqgm.NewJoin(xqgm.JoinInner, pushedIn, akIn, on, nil)
+			branches = append(branches, xqgm.ProjectCols(join, o.Key))
+		}
+		if len(branches) == 0 {
+			return nil, nil, nil
+		}
+		var ak *xqgm.Operator
+		if len(branches) == 1 {
+			ak = xqgm.NewUnion(true, branches[0]) // still dedup
+		} else {
+			ak = xqgm.NewUnion(true, branches...)
+		}
+		return ak, append([]int(nil), o.Key...), nil
+
+	case xqgm.OpUnnest:
+		return nil, nil, fmt.Errorf("affected: Unnest must be composed away before trigger analysis (Theorem 1)")
+
+	default:
+		return nil, nil, fmt.Errorf("affected: unsupported operator %v", o.Type)
+	}
+}
+
+// createAKLeftOuter handles the functional left-outer joins produced by the
+// view compiler (parent rows joined with grouped child fragments on the
+// parent key). An output row is affected when its left part changed or when
+// its matched right-side group changed. Affected keys from either side are
+// normalized to the left input's canonical key (= the join's key, by the
+// functional-join property) by joining back with the (semijoin-restricted)
+// left input, so both branches union cleanly even when the updated table
+// occurs on both sides.
+func createAKLeftOuter(s *schema.Schema, o *xqgm.Operator, table string, src xqgm.TableSource) (*xqgm.Operator, []int, error) {
+	l, r := o.Inputs[0], o.Inputs[1]
+	akL, kl, err := CreateAKGraph(s, l, table, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	akR, kr, err := CreateAKGraph(s, r, table, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if akL == nil && akR == nil {
+		return nil, nil, nil
+	}
+	xqgm.DeriveKeys(l)
+	lk := l.Key
+	if lk == nil {
+		return nil, nil, fmt.Errorf("affected: left-outer join: left input has no canonical key")
+	}
+	// Map right-side key columns to left positions via the join equalities.
+	mapRight := func(cols []int) ([]int, error) {
+		out := make([]int, len(cols))
+		for i, c := range cols {
+			mapped := -1
+			for _, eq := range o.On {
+				if eq.R == c {
+					mapped = eq.L
+					break
+				}
+			}
+			if mapped < 0 {
+				return nil, fmt.Errorf("affected: left-outer join: affected key column %d of the right input is not a join column", c)
+			}
+			out[i] = mapped
+		}
+		return out, nil
+	}
+	sameAsLK := func(cols []int) bool {
+		if len(cols) != len(lk) {
+			return false
+		}
+		for i := range cols {
+			if cols[i] != lk[i] {
+				return false
+			}
+		}
+		return true
+	}
+	// normalize produces an operator yielding the left-key values of the
+	// left rows whose columns `cols` match the ak operator's keys.
+	normalize := func(ak *xqgm.Operator, cols []int) *xqgm.Operator {
+		if sameAsLK(cols) {
+			return ak
+		}
+		pushed, _ := pushdown.PushSemiJoin(l, ak, cols)
+		on := make([]xqgm.JoinEq, len(cols))
+		for j, c := range cols {
+			on[j] = xqgm.JoinEq{L: c, R: j}
+		}
+		join := xqgm.NewJoin(xqgm.JoinInner, pushed, ak, on, nil)
+		return xqgm.NewGroupBy(join, append([]int(nil), lk...))
+	}
+	var branches []*xqgm.Operator
+	if akL != nil {
+		branches = append(branches, normalize(akL, kl))
+	}
+	if akR != nil {
+		ko, err := mapRight(kr)
+		if err != nil {
+			return nil, nil, err
+		}
+		branches = append(branches, normalize(akR, ko))
+	}
+	var ak *xqgm.Operator
+	if len(branches) == 1 {
+		ak = branches[0]
+	} else {
+		ak = xqgm.NewUnion(true, branches...)
+	}
+	return ak, append([]int(nil), lk...), nil
+}
+
+// composeOpMaps chains clone and pushdown operator maps: an original
+// operator resolves through the clone map, then through the pushdown map
+// when the pushed rewrite replaced it.
+func composeOpMaps(a, b map[*xqgm.Operator]*xqgm.Operator) map[*xqgm.Operator]*xqgm.Operator {
+	out := make(map[*xqgm.Operator]*xqgm.Operator, len(a))
+	for k, v := range a {
+		if w, ok := b[v]; ok {
+			out[k] = w
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// ensureProjected returns the output position of a Project that carries
+// input column ic, appending a passthrough projection when missing
+// (Figure 8 line 57: "Add K to O.outputColumns").
+func ensureProjected(o *xqgm.Operator, ic int) int {
+	for pi, p := range o.Projs {
+		if cr, ok := p.E.(*xqgm.ColRef); ok && cr.Input == 0 && cr.Col == ic {
+			return pi
+		}
+	}
+	name := ""
+	if names := o.Inputs[0].OutNames(); ic < len(names) {
+		name = names[ic]
+	}
+	if name == "" {
+		name = fmt.Sprintf("_ak%d", ic)
+	}
+	o.Projs = append(o.Projs, xqgm.Proj{Name: name, E: xqgm.Col(ic)})
+	return len(o.Projs) - 1
+}
+
+// CreateANGraph implements Figure 12: it builds the graph producing
+// (OLD_NODE, NEW_NODE) pairs for the XML event ev on path graph G, given
+// updates to the named base table. G is not modified; the result owns
+// private clones. The returned ANGraph exposes the column layout.
+func CreateANGraph(s *schema.Schema, ev reldb.Event, g *xqgm.Operator, table string, opts Options) (*ANGraph, error) {
+	deltaSrc, nablaSrc := xqgm.SrcDelta, xqgm.SrcNabla
+	if opts.Prune {
+		deltaSrc, nablaSrc = xqgm.SrcDeltaPruned, xqgm.SrcNablaPruned
+	}
+
+	gNew, mapNew := xqgm.CloneMap(g)
+	gOld, mapOld := xqgm.CloneMap(g)
+	xqgm.Walk(gOld, func(o *xqgm.Operator) {
+		if o.Type == xqgm.OpTable && o.Table == table && o.Source == xqgm.SrcBase {
+			o.Source = xqgm.SrcOld
+		}
+	})
+	xqgm.DeriveKeys(gNew)
+	xqgm.DeriveKeys(gOld)
+	if gNew.Key == nil {
+		return nil, fmt.Errorf("affected: path graph has no canonical key; view is not trigger-specifiable")
+	}
+
+	// Affected keys on the Δ side (over G) and the ∇ side (over G_old).
+	akNew, kNew, err := CreateAKGraph(s, gNew, table, deltaSrc)
+	if err != nil {
+		return nil, err
+	}
+	akOld, kOld, err := CreateAKGraph(s, gOld, table, nablaSrc)
+	if err != nil {
+		return nil, err
+	}
+	if akNew == nil || akOld == nil {
+		return nil, fmt.Errorf("affected: table %q does not occur in the path graph", table)
+	}
+	if len(kNew) != len(kOld) {
+		return nil, fmt.Errorf("affected: internal error: Δ/∇ affected-key shapes differ (%v vs %v)", kNew, kOld)
+	}
+	// Both sides were built from clones of the same graph, so the key
+	// column positions agree; assert it.
+	for i := range kNew {
+		if kNew[i] != kOld[i] {
+			return nil, fmt.Errorf("affected: internal error: Δ/∇ key columns differ (%v vs %v)", kNew, kOld)
+		}
+	}
+
+	// Ou ← Union of the affected keys.
+	ou := xqgm.NewUnion(true, akNew, akOld)
+	kw := len(kNew)
+
+	// Trigger pushdown (§5.2): restrict both view sides to the affected
+	// keys before joining, so firing cost scales with the number of
+	// affected nodes, not the database size (Figure 16 / Figure 23).
+	gNewP, pmapNew := pushdown.PushSemiJoin(gNew, ou, kNew)
+	gOldP, pmapOld := pushdown.PushSemiJoin(gOld, ou, kOld)
+
+	if opts.OldAggDelta {
+		// The GROUPED-AGG rewrite targets the pushed graphs: compose the
+		// clone maps with the pushdown maps so original GroupBys resolve to
+		// their restricted counterparts.
+		rewriteOldAggregates(g, gOldP, table,
+			composeOpMaps(mapNew, pmapNew), composeOpMaps(mapOld, pmapOld),
+			deltaSrc, nablaSrc, opts.ElideOldXMLFrag)
+	}
+	xqgm.DeriveKeys(gNewP)
+	xqgm.DeriveKeys(gOldP)
+
+	// Onew ← Join(Ou.key = G.key)(Ou, G); Oold likewise against G_old.
+	onNew := make([]xqgm.JoinEq, kw)
+	for j := 0; j < kw; j++ {
+		onNew[j] = xqgm.JoinEq{L: j, R: kNew[j]}
+	}
+	oNew := xqgm.NewJoin(xqgm.JoinInner, ou, gNewP, onNew, nil)
+	oOld := xqgm.NewJoin(xqgm.JoinInner, ou, gOldP, onNew, nil)
+
+	vw := gNew.OutWidth()
+	if gOld.OutWidth() != vw {
+		return nil, fmt.Errorf("affected: internal error: G and G_old widths differ")
+	}
+
+	// Final join on the full canonical key; the join type encodes the
+	// event semantics (Definitions 2-3).
+	key := gNew.Key
+	topOn := make([]xqgm.JoinEq, len(key))
+	for i, kc := range key {
+		topOn[i] = xqgm.JoinEq{L: kw + kc, R: kw + kc}
+	}
+	var root *xqgm.Operator
+	switch ev {
+	case reldb.EvUpdate:
+		root = xqgm.NewJoin(xqgm.JoinInner, oNew, oOld, topOn, nil)
+	case reldb.EvInsert:
+		root = xqgm.NewJoin(xqgm.JoinLeftAnti, oNew, oOld, topOn, nil)
+	case reldb.EvDelete:
+		root = xqgm.NewJoin(xqgm.JoinRightAnti, oNew, oOld, topOn, nil)
+	default:
+		return nil, fmt.Errorf("affected: unknown event %v", ev)
+	}
+
+	an := &ANGraph{Root: root, Event: ev, Table: table, keyWidth: kw, viewWidth: vw}
+
+	// Spurious-update filter (Figure 12 line 11 / Appendix E.1): required
+	// for UPDATE events unless the view is injective and pruning is on.
+	if ev == reldb.EvUpdate && !opts.SkipValueCompare {
+		cols := opts.CompareCols
+		if len(cols) == 0 {
+			for i := 0; i < vw; i++ {
+				cols = append(cols, i)
+			}
+		}
+		var diffs []xqgm.Expr
+		for _, c := range cols {
+			diffs = append(diffs, &xqgm.Logic{Op: "not", Args: []xqgm.Expr{
+				&xqgm.Call{Name: "deep-equal", Args: []xqgm.Expr{
+					xqgm.Col(an.NewCol(c)),
+					xqgm.Col(an.OldCol(c)),
+				}},
+			}})
+		}
+		var pred xqgm.Expr
+		if len(diffs) == 1 {
+			pred = diffs[0]
+		} else {
+			pred = &xqgm.Logic{Op: "or", Args: diffs}
+		}
+		an.Root = xqgm.NewSelect(root, pred)
+	}
+	return an, nil
+}
+
+// Pairs evaluates the ANGraph and returns the affected (old, new) tuples of
+// the view output, both sides restricted to the original view width.
+type Pair struct {
+	Old, New xqgm.Tuple
+}
+
+// Eval runs the ANGraph under the given transition tables and extracts the
+// (old, new) view tuples.
+func (g *ANGraph) Eval(db *reldb.DB, deltas map[string]*xqgm.Transition) ([]Pair, error) {
+	ctx := xqgm.NewEvalContext(db, deltas)
+	rows, err := ctx.Eval(g.Root)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Pair, 0, len(rows))
+	for _, r := range rows {
+		p := Pair{Old: make(xqgm.Tuple, g.viewWidth), New: make(xqgm.Tuple, g.viewWidth)}
+		for i := 0; i < g.viewWidth; i++ {
+			p.New[i] = r[g.NewCol(i)]
+			p.Old[i] = r[g.OldCol(i)]
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// InjectiveFor implements the Appendix F.2 sufficient conditions: it
+// reports whether the view graph is injective with respect to the given
+// base table. The check computes, for every output column of every
+// operator, the set of the table's base columns that are injectively
+// recoverable from it: direct column references, XML-constructor embedding,
+// and aggXMLFrag embedding preserve their arguments injectively; all other
+// expressions and aggregates lose information. The view is injective for
+// the table iff the root's output jointly recovers every column of the
+// table. Injective views need no OLD_NODE ≠ NEW_NODE comparison when pruned
+// transition tables are used (Theorem 3).
+func InjectiveFor(root *xqgm.Operator, table string) bool {
+	def := tableWidth(root, table)
+	if def == 0 {
+		return false
+	}
+	recov := recoverable(root, table, map[*xqgm.Operator][]colMask{})
+	var all colMask
+	for _, m := range recov {
+		all |= m
+	}
+	return all == (colMask(1)<<def)-1
+}
+
+// colMask is a bitset over a base table's column indexes (tables are small).
+type colMask uint64
+
+func tableWidth(root *xqgm.Operator, table string) int {
+	w := 0
+	xqgm.Walk(root, func(o *xqgm.Operator) {
+		if o.Type == xqgm.OpTable && o.Table == table {
+			w = o.Width
+		}
+	})
+	return w
+}
+
+// recoverable returns, per output column, the mask of `table` base columns
+// injectively recoverable from that column.
+func recoverable(o *xqgm.Operator, table string, memo map[*xqgm.Operator][]colMask) []colMask {
+	if r, ok := memo[o]; ok {
+		return r
+	}
+	var out []colMask
+	switch o.Type {
+	case xqgm.OpTable:
+		out = make([]colMask, o.Width)
+		if o.Table == table {
+			for i := range out {
+				out[i] = colMask(1) << i
+			}
+		}
+	case xqgm.OpConstants:
+		out = make([]colMask, o.Width)
+	case xqgm.OpSelect, xqgm.OpOrderBy:
+		out = recoverable(o.Inputs[0], table, memo)
+	case xqgm.OpProject:
+		in := recoverable(o.Inputs[0], table, memo)
+		out = make([]colMask, len(o.Projs))
+		for pi, p := range o.Projs {
+			out[pi] = exprRecov(p.E, in)
+		}
+	case xqgm.OpJoin:
+		lt := recoverable(o.Inputs[0], table, memo)
+		rt := recoverable(o.Inputs[1], table, memo)
+		out = make([]colMask, 0, len(lt)+len(rt))
+		out = append(out, lt...)
+		out = append(out, rt...)
+	case xqgm.OpGroupBy:
+		in := recoverable(o.Inputs[0], table, memo)
+		out = make([]colMask, 0, len(o.GroupCols)+len(o.Aggs))
+		for _, g := range o.GroupCols {
+			out = append(out, in[g])
+		}
+		for _, a := range o.Aggs {
+			if a.Func == xqgm.AggXMLFrag && a.Arg != nil {
+				// aggXMLFrag concatenates its arguments into a sequence,
+				// preserving each fragment: injective (F.2).
+				out = append(out, exprRecovCtor(a.Arg, in))
+			} else {
+				// count/sum/min/max/avg lose the contributing values.
+				out = append(out, 0)
+			}
+		}
+	default:
+		// Union merges duplicates and Unnest duplicates rows: conservative.
+		out = make([]colMask, o.OutWidth())
+	}
+	memo[o] = out
+	return out
+}
+
+// exprRecov computes the recoverable mask of an expression used as a
+// projection: only direct column references and XML constructors preserve
+// their inputs injectively.
+func exprRecov(e xqgm.Expr, in []colMask) colMask {
+	switch x := e.(type) {
+	case *xqgm.ColRef:
+		if x.Input == 0 && x.Col < len(in) {
+			return in[x.Col]
+		}
+	case *xqgm.ElemCtor:
+		return exprRecovCtor(x, in)
+	}
+	return 0
+}
+
+// exprRecovCtor computes the recoverable mask of an expression embedded in
+// an XML fragment: constructors render each child into a distinct position,
+// so direct column references and nested constructors are injective, while
+// computed values (arithmetic, comparisons, function calls) are not.
+func exprRecovCtor(e xqgm.Expr, in []colMask) colMask {
+	switch x := e.(type) {
+	case *xqgm.ColRef:
+		if x.Input == 0 && x.Col < len(in) {
+			return in[x.Col]
+		}
+	case *xqgm.ElemCtor:
+		var m colMask
+		for _, a := range x.Attrs {
+			m |= exprRecovCtor(a.E, in)
+		}
+		for _, c := range x.Children {
+			m |= exprRecovCtor(c, in)
+		}
+		return m
+	}
+	return 0
+}
+
+// Lexicalize is a helper for tests: renders a tuple deterministically.
+func Lexicalize(t xqgm.Tuple) string {
+	out := ""
+	for i, v := range t {
+		if i > 0 {
+			out += "|"
+		}
+		out += v.Lexical()
+	}
+	return out
+}

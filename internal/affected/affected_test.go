@@ -1,0 +1,689 @@
+package affected
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"quark/internal/fixtures"
+	"quark/internal/reldb"
+	"quark/internal/schema"
+	"quark/internal/xdm"
+	"quark/internal/xqgm"
+)
+
+// captureStatement runs fn and captures the transition tables of the single
+// statement it performs on the given table.
+func captureStatement(t *testing.T, db *reldb.DB, table string, fn func() error) map[string]*xqgm.Transition {
+	t.Helper()
+	tr := &xqgm.Transition{}
+	for i, ev := range []reldb.Event{reldb.EvInsert, reldb.EvUpdate, reldb.EvDelete} {
+		name := fmt.Sprintf("capture_%s_%d", table, i)
+		err := db.CreateTrigger(&reldb.SQLTrigger{
+			Name: name, Table: table, Event: ev,
+			Body: func(ctx *reldb.FireContext) error {
+				tr.Inserted = append(tr.Inserted, ctx.Inserted...)
+				tr.Deleted = append(tr.Deleted, ctx.Deleted...)
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = db.DropTrigger(name) }()
+	}
+	if err := fn(); err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*xqgm.Transition{table: tr}
+}
+
+// snapshotProducts evaluates the product-level path graph (Figure 5A) and
+// returns key -> serialized product node.
+func snapshotProducts(t *testing.T, db *reldb.DB) map[string]string {
+	t.Helper()
+	v := fixtures.BuildCatalogView(db.Schema(), 2)
+	ctx := xqgm.NewEvalContext(db, nil)
+	rows, err := ctx.Eval(v.ProductProj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for _, r := range rows {
+		out[r[v.ProdNameCol].AsString()] = r[v.ProdNodeCol].AsNode().Serialize(false)
+	}
+	return out
+}
+
+type oracleDiff struct {
+	updated  map[string][2]string // key -> (old, new)
+	inserted map[string]string
+	deleted  map[string]string
+}
+
+func diffSnapshots(before, after map[string]string) oracleDiff {
+	d := oracleDiff{updated: map[string][2]string{}, inserted: map[string]string{}, deleted: map[string]string{}}
+	for k, o := range before {
+		if n, ok := after[k]; ok {
+			if o != n {
+				d.updated[k] = [2]string{o, n}
+			}
+		} else {
+			d.deleted[k] = o
+		}
+	}
+	for k, n := range after {
+		if _, ok := before[k]; !ok {
+			d.inserted[k] = n
+		}
+	}
+	return d
+}
+
+// anGraphs builds the three event graphs for the product path over a table.
+func anGraphs(t *testing.T, s *schema.Schema, table string) map[reldb.Event]*ANGraph {
+	t.Helper()
+	out := map[reldb.Event]*ANGraph{}
+	for _, ev := range []reldb.Event{reldb.EvUpdate, reldb.EvInsert, reldb.EvDelete} {
+		v := fixtures.BuildCatalogView(s, 2)
+		g, err := CreateANGraph(s, ev, v.ProductProj, table, Options{Prune: true, CompareCols: []int{v.ProdNodeCol}})
+		if err != nil {
+			t.Fatalf("CreateANGraph(%v, %s): %v", ev, table, err)
+		}
+		out[ev] = g
+	}
+	return out
+}
+
+// checkAgainstOracle applies a statement, captures transitions, runs all
+// three ANGraphs, and compares against the recompute-and-diff oracle.
+func checkAgainstOracle(t *testing.T, db *reldb.DB, table, label string, fn func() error) {
+	t.Helper()
+	graphs := anGraphs(t, db.Schema(), table)
+	before := snapshotProducts(t, db)
+	deltas := captureStatement(t, db, table, fn)
+	after := snapshotProducts(t, db)
+	want := diffSnapshots(before, after)
+
+	v := fixtures.BuildCatalogView(db.Schema(), 2)
+	nodeCol, nameCol := v.ProdNodeCol, v.ProdNameCol
+
+	// UPDATE pairs.
+	gotUpd := map[string][2]string{}
+	pairs, err := graphs[reldb.EvUpdate].Eval(db, deltas)
+	if err != nil {
+		t.Fatalf("%s: UPDATE eval: %v", label, err)
+	}
+	for _, p := range pairs {
+		key := p.New[nameCol].AsString()
+		gotUpd[key] = [2]string{p.Old[nodeCol].AsNode().Serialize(false), p.New[nodeCol].AsNode().Serialize(false)}
+	}
+	if len(gotUpd) != len(want.updated) {
+		t.Errorf("%s: UPDATE events = %v, want %v", label, keys(gotUpd), keysP(want.updated))
+	}
+	for k, w := range want.updated {
+		g, ok := gotUpd[k]
+		if !ok {
+			t.Errorf("%s: missing UPDATE for %q", label, k)
+			continue
+		}
+		if g[0] != w[0] {
+			t.Errorf("%s: OLD_NODE(%q) = %s, want %s", label, k, g[0], w[0])
+		}
+		if g[1] != w[1] {
+			t.Errorf("%s: NEW_NODE(%q) = %s, want %s", label, k, g[1], w[1])
+		}
+	}
+
+	// INSERT pairs: OLD side must be null.
+	gotIns := map[string]string{}
+	pairs, err = graphs[reldb.EvInsert].Eval(db, deltas)
+	if err != nil {
+		t.Fatalf("%s: INSERT eval: %v", label, err)
+	}
+	for _, p := range pairs {
+		if !p.Old[nodeCol].IsNull() {
+			t.Errorf("%s: INSERT pair has non-null OLD_NODE", label)
+		}
+		gotIns[p.New[nameCol].AsString()] = p.New[nodeCol].AsNode().Serialize(false)
+	}
+	if fmt.Sprint(gotIns) != fmt.Sprint(want.inserted) {
+		t.Errorf("%s: INSERT events = %v, want %v", label, gotIns, want.inserted)
+	}
+
+	// DELETE pairs: NEW side must be null.
+	gotDel := map[string]string{}
+	pairs, err = graphs[reldb.EvDelete].Eval(db, deltas)
+	if err != nil {
+		t.Fatalf("%s: DELETE eval: %v", label, err)
+	}
+	for _, p := range pairs {
+		if !p.New[nodeCol].IsNull() {
+			t.Errorf("%s: DELETE pair has non-null NEW_NODE", label)
+		}
+		gotDel[p.Old[nameCol].AsString()] = p.Old[nodeCol].AsNode().Serialize(false)
+	}
+	if fmt.Sprint(gotDel) != fmt.Sprint(want.deleted) {
+		t.Errorf("%s: DELETE events = %v, want %v", label, gotDel, want.deleted)
+	}
+}
+
+func keys(m map[string][2]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func keysP(m map[string][2]string) []string { return keys(m) }
+
+// TestNestedPredicateInsert reproduces the Section 4.1 example: inserting
+// vendor (Amazon, P2, 500) updates the "LCD 19" product. The naive
+// delta-substitution approach misses this because count(Δ)=1 < 2; our
+// CreateAKGraph joins back with the full table and must catch it.
+func TestNestedPredicateInsert(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, db, "vendor", "§4.1 insert", func() error {
+		return db.Insert("vendor", reldb.Row{xdm.Str("Amazon"), xdm.Str("P2"), xdm.Float(500)})
+	})
+}
+
+// TestAffectedKeysDirect checks the raw CreateAKGraph output for the §4.1
+// insert: exactly {"LCD 19"}.
+func TestAffectedKeysDirect(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := fixtures.BuildCatalogView(db.Schema(), 2)
+	g := xqgm.Clone(v.ProductProj)
+	xqgm.DeriveKeys(g)
+	ak, kcols, err := CreateAKGraph(db.Schema(), g, "vendor", xqgm.SrcDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ak == nil {
+		t.Fatal("nil AK graph")
+	}
+	if len(kcols) != 1 {
+		t.Fatalf("key cols = %v, want one (pname)", kcols)
+	}
+	deltas := captureStatement(t, db, "vendor", func() error {
+		return db.Insert("vendor", reldb.Row{xdm.Str("Amazon"), xdm.Str("P2"), xdm.Float(500)})
+	})
+	ctx := xqgm.NewEvalContext(db, deltas)
+	rows, err := ctx.Eval(ak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].AsString() != "LCD 19" {
+		t.Errorf("affected keys = %v, want [LCD 19]", rows)
+	}
+}
+
+// TestPaperPriceUpdate reproduces the Section 2.3 example: Amazon's P1
+// price drops to 75, updating the "CRT 15" product node.
+func TestPaperPriceUpdate(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, db, "vendor", "price drop", func() error {
+		_, err := db.UpdateByPK("vendor", []xdm.Value{xdm.Str("Amazon"), xdm.Str("P1")}, func(r reldb.Row) reldb.Row {
+			r[2] = xdm.Float(75)
+			return r
+		})
+		return err
+	})
+}
+
+// TestViewInsertAndDeleteEvents drives count crossings in both directions:
+// P4 gains a second vendor (XML INSERT) then loses it (XML DELETE).
+func TestViewInsertAndDeleteEvents(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("product", reldb.Row{xdm.Str("P4"), xdm.Str("OLED 27"), xdm.Str("LG")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("vendor", reldb.Row{xdm.Str("Amazon"), xdm.Str("P4"), xdm.Float(900)}); err != nil {
+		t.Fatal(err)
+	}
+	// count 1 -> 2: OLED 27 appears in the view.
+	checkAgainstOracle(t, db, "vendor", "insert crossing", func() error {
+		return db.Insert("vendor", reldb.Row{xdm.Str("Bestbuy"), xdm.Str("P4"), xdm.Float(950)})
+	})
+	// count 2 -> 1: OLED 27 disappears.
+	checkAgainstOracle(t, db, "vendor", "delete crossing", func() error {
+		_, err := db.DeleteByPK("vendor", xdm.Str("Bestbuy"), xdm.Str("P4"))
+		return err
+	})
+}
+
+// TestProductRename: updating pname moves vendors between groups, which can
+// insert one node, delete another, or update both.
+func TestProductRename(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rename P3 from "CRT 15" to "LCD 19": CRT 15 loses two vendors (down
+	// to 3, still in view => UPDATE) and LCD 19 gains two (UPDATE).
+	checkAgainstOracle(t, db, "product", "rename P3", func() error {
+		_, err := db.UpdateByPK("product", []xdm.Value{xdm.Str("P3")}, func(r reldb.Row) reldb.Row {
+			r[1] = xdm.Str("LCD 19")
+			return r
+		})
+		return err
+	})
+}
+
+// TestNoOpUpdateProducesNoEvents: a SET price = price statement yields full
+// transition tables but empty pruned ones; no trigger events must fire.
+func TestNoOpUpdateProducesNoEvents(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, db, "vendor", "no-op update", func() error {
+		_, err := db.Update("vendor", func(reldb.Row) bool { return true }, func(r reldb.Row) reldb.Row { return r })
+		return err
+	})
+}
+
+// TestMultiRowStatement: one statement touching many rows fires one set of
+// events covering all affected nodes.
+func TestMultiRowStatement(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, db, "vendor", "global price hike", func() error {
+		_, err := db.Update("vendor", func(reldb.Row) bool { return true }, func(r reldb.Row) reldb.Row {
+			nv, _ := xdm.Arith("*", r[2], xdm.Float(1.1))
+			r[2] = nv
+			return r
+		})
+		return err
+	})
+}
+
+// TestRandomizedOracle drives random statements through the pipeline and
+// checks every one against the recompute oracle (Theorem 2 in anger).
+func TestRandomizedOracle(t *testing.T) {
+	seeds := []int64{1, 7, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			db, err := fixtures.OpenPaperDB()
+			if err != nil {
+				t.Fatal(err)
+			}
+			names := []string{"CRT 15", "LCD 19", "OLED 27", "Plasma 42"}
+			vids := []string{"Amazon", "Bestbuy", "Buy.com", "Circuitcity", "Newegg", "Walmart"}
+			pids := []string{"P1", "P2", "P3"}
+			nextP := 4
+			for step := 0; step < 40; step++ {
+				switch r.Intn(6) {
+				case 0: // insert product
+					pid := fmt.Sprintf("P%d", nextP)
+					nextP++
+					pids = append(pids, pid)
+					name := names[r.Intn(len(names))]
+					checkAgainstOracle(t, db, "product", "rand insert product", func() error {
+						return db.Insert("product", reldb.Row{xdm.Str(pid), xdm.Str(name), xdm.Str("m")})
+					})
+				case 1: // insert vendor (may collide; ignore errors by pre-check)
+					vid := vids[r.Intn(len(vids))]
+					pid := pids[r.Intn(len(pids))]
+					if _, ok, _ := db.GetByPK("vendor", xdm.Str(vid), xdm.Str(pid)); ok {
+						continue
+					}
+					price := float64(50 + r.Intn(300))
+					checkAgainstOracle(t, db, "vendor", "rand insert vendor", func() error {
+						return db.Insert("vendor", reldb.Row{xdm.Str(vid), xdm.Str(pid), xdm.Float(price)})
+					})
+				case 2: // update vendor price
+					pid := pids[r.Intn(len(pids))]
+					price := float64(50 + r.Intn(300))
+					checkAgainstOracle(t, db, "vendor", "rand price update", func() error {
+						_, err := db.Update("vendor",
+							func(row reldb.Row) bool { return row[1].AsString() == pid },
+							func(row reldb.Row) reldb.Row { row[2] = xdm.Float(price); return row })
+						return err
+					})
+				case 3: // delete a vendor
+					vid := vids[r.Intn(len(vids))]
+					checkAgainstOracle(t, db, "vendor", "rand delete vendor", func() error {
+						_, err := db.Delete("vendor", func(row reldb.Row) bool { return row[0].AsString() == vid })
+						return err
+					})
+				case 4: // rename product
+					pid := pids[r.Intn(len(pids))]
+					name := names[r.Intn(len(names))]
+					checkAgainstOracle(t, db, "product", "rand rename", func() error {
+						_, err := db.Update("product",
+							func(row reldb.Row) bool { return row[0].AsString() == pid },
+							func(row reldb.Row) reldb.Row { row[1] = xdm.Str(name); return row })
+						return err
+					})
+				case 5: // no-op vendor update
+					checkAgainstOracle(t, db, "vendor", "rand noop", func() error {
+						_, err := db.Update("vendor", func(reldb.Row) bool { return true },
+							func(row reldb.Row) reldb.Row { return row })
+						return err
+					})
+				}
+			}
+		})
+	}
+}
+
+// buildMinPriceView constructs the Figure 21 view: products with their
+// minimum price. Returns (path graph top, node col, name col, min col).
+func buildMinPriceView(s *schema.Schema) (*xqgm.Operator, int, int, int) {
+	prodDef, _ := s.Table("product")
+	vendDef, _ := s.Table("vendor")
+	prod := xqgm.NewTable(prodDef, xqgm.SrcBase)
+	vend := xqgm.NewTable(vendDef, xqgm.SrcBase)
+	join := xqgm.NewJoin(xqgm.JoinInner, prod, vend, []xqgm.JoinEq{{L: 0, R: 1}}, nil)
+	g := xqgm.NewGroupBy(join, []int{1},
+		xqgm.Agg{Name: "minprice", Func: xqgm.AggMin, Arg: xqgm.Col(5)})
+	elem := &xqgm.ElemCtor{
+		Name:  "product",
+		Attrs: []xqgm.AttrSpec{{Name: "name", E: xqgm.Col(0)}},
+		Children: []xqgm.Expr{
+			&xqgm.ElemCtor{Name: "min", Children: []xqgm.Expr{xqgm.Col(1)}},
+		},
+	}
+	top := xqgm.NewProject(g,
+		xqgm.Proj{Name: "product", E: elem},
+		xqgm.Proj{Name: "pname", E: xqgm.Col(0)},
+		xqgm.Proj{Name: "minprice", E: xqgm.Col(1)},
+	)
+	xqgm.DeriveKeys(top)
+	return top, 0, 1, 2
+}
+
+// TestSpuriousUpdateSuppression reproduces Appendix E.1: a price update
+// that does not change the minimum must not produce an UPDATE event — but
+// only because of the final value comparison (or its F.4 aggregate-column
+// pushdown). Without either, a spurious update appears.
+func TestSpuriousUpdateSuppression(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Schema()
+	run := func(opts Options) []Pair {
+		g, _, _, _ := buildMinPriceView(s)
+		an, err := CreateANGraph(s, reldb.EvUpdate, g, "vendor", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Amazon P1: 100 -> 75. P1 is "CRT 15" whose min over P1+P3 vendors
+		// is 100? vendors for CRT 15: P1(100,120,150), P3(120,140): min 100.
+		// So dropping Amazon to 75 DOES change min. Use Bestbuy P1 120->110
+		// instead: min stays 100.
+		deltas := map[string]*xqgm.Transition{"vendor": {
+			Inserted: []reldb.Row{{xdm.Str("Bestbuy"), xdm.Str("P1"), xdm.Float(110)}},
+			Deleted:  []reldb.Row{{xdm.Str("Bestbuy"), xdm.Str("P1"), xdm.Float(120)}},
+		}}
+		// Apply the actual update to keep DB state consistent with deltas.
+		if _, err := db.UpdateByPK("vendor", []xdm.Value{xdm.Str("Bestbuy"), xdm.Str("P1")}, func(r reldb.Row) reldb.Row {
+			r[2] = xdm.Float(110)
+			return r
+		}); err != nil {
+			t.Fatal(err)
+		}
+		pairs, err := an.Eval(db, deltas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Restore.
+		if _, err := db.UpdateByPK("vendor", []xdm.Value{xdm.Str("Bestbuy"), xdm.Str("P1")}, func(r reldb.Row) reldb.Row {
+			r[2] = xdm.Float(120)
+			return r
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return pairs
+	}
+	// Default: full node comparison suppresses the spurious update.
+	if pairs := run(Options{Prune: true}); len(pairs) != 0 {
+		t.Errorf("node-compare: spurious updates = %d, want 0", len(pairs))
+	}
+	// F.4: comparing just the aggregate column also suppresses it.
+	if pairs := run(Options{Prune: true, CompareCols: []int{2}}); len(pairs) != 0 {
+		t.Errorf("agg-compare: spurious updates = %d, want 0", len(pairs))
+	}
+	// Without any comparison the spurious update appears (the view is not
+	// injective, so SkipValueCompare is unsound here — by design).
+	if pairs := run(Options{Prune: true, SkipValueCompare: true}); len(pairs) != 1 {
+		t.Errorf("no-compare: updates = %d, want 1 spurious", len(pairs))
+	}
+}
+
+// TestInjectiveAnalysis checks InjectiveFor against F.2.
+func TestInjectiveAnalysis(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Schema()
+	v := fixtures.BuildCatalogView(s, 2)
+	// The catalog view embeds all vendor columns (pid, vid, price) in the
+	// vendor element: injective w.r.t. vendor.
+	if !InjectiveFor(v.ProductProj, "vendor") {
+		t.Error("catalog view should be injective w.r.t. vendor")
+	}
+	// It drops product.mfr: not injective w.r.t. product.
+	if InjectiveFor(v.ProductProj, "product") {
+		t.Error("catalog view should NOT be injective w.r.t. product (mfr dropped)")
+	}
+	// The min-price view aggregates price with min: not injective w.r.t.
+	// vendor.
+	mp, _, _, _ := buildMinPriceView(s)
+	if InjectiveFor(mp, "vendor") {
+		t.Error("min-price view should NOT be injective w.r.t. vendor")
+	}
+}
+
+// TestInjectiveFastPath: for an injective view with pruned transition
+// tables, SkipValueCompare is sound (Theorem 3): no-op updates produce no
+// events, real updates still do.
+func TestInjectiveFastPath(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Schema()
+	// Injective product view: every product column embedded in the node.
+	prodDef, _ := s.Table("product")
+	prod := xqgm.NewTable(prodDef, xqgm.SrcBase)
+	elem := &xqgm.ElemCtor{Name: "product", Attrs: []xqgm.AttrSpec{
+		{Name: "pid", E: xqgm.Col(0)},
+		{Name: "name", E: xqgm.Col(1)},
+		{Name: "mfr", E: xqgm.Col(2)},
+	}}
+	top := xqgm.NewProject(prod,
+		xqgm.Proj{Name: "product", E: elem},
+		xqgm.Proj{Name: "pid", E: xqgm.Col(0)},
+	)
+	xqgm.DeriveKeys(top)
+	if !InjectiveFor(top, "product") {
+		t.Fatal("fully-embedding view should be injective")
+	}
+	an, err := CreateANGraph(s, reldb.EvUpdate, top, "product", Options{Prune: true, SkipValueCompare: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No-op statement: pruned tables empty, no events.
+	deltas := captureStatement(t, db, "product", func() error {
+		_, err := db.Update("product", func(reldb.Row) bool { return true }, func(r reldb.Row) reldb.Row { return r })
+		return err
+	})
+	pairs, err := an.Eval(db, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0 {
+		t.Errorf("no-op update: %d events, want 0 (injective fast path)", len(pairs))
+	}
+	// Real update: exactly one event.
+	deltas = captureStatement(t, db, "product", func() error {
+		_, err := db.UpdateByPK("product", []xdm.Value{xdm.Str("P1")}, func(r reldb.Row) reldb.Row {
+			r[2] = xdm.Str("Sony")
+			return r
+		})
+		return err
+	})
+	pairs, err = an.Eval(db, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("mfr update: %d events, want 1", len(pairs))
+	}
+	oldN, newN := pairs[0].Old[0].AsNode(), pairs[0].New[0].AsNode()
+	if m, _ := oldN.Attribute("mfr"); m != "Samsung" {
+		t.Errorf("old mfr = %q", m)
+	}
+	if m, _ := newN.Attribute("mfr"); m != "Sony" {
+		t.Errorf("new mfr = %q", m)
+	}
+}
+
+// TestErrorPaths covers validation errors.
+func TestErrorPaths(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Schema()
+	v := fixtures.BuildCatalogView(s, 2)
+	// Table not in the graph.
+	if _, err := CreateANGraph(s, reldb.EvUpdate, v.ProductProj, "nosuch", Options{}); err == nil {
+		t.Error("expected error for unknown table")
+	}
+	// Keyless table.
+	s2 := schema.New()
+	s2.MustAddTable(&schema.Table{Name: "nokey", Columns: []schema.Column{{Name: "a", Type: schema.TInt}}})
+	def, _ := s2.Table("nokey")
+	g := xqgm.NewTable(def, xqgm.SrcBase)
+	xqgm.DeriveKeys(g)
+	if _, _, err := CreateAKGraph(s2, g, "nokey", xqgm.SrcDelta); err == nil {
+		t.Error("expected error for keyless table")
+	}
+	// Unnest in the path graph.
+	pdef, _ := s.Table("product")
+	pt := xqgm.NewTable(pdef, xqgm.SrcBase)
+	gb := xqgm.NewGroupBy(pt, []int{1}, xqgm.Agg{Name: "x", Func: xqgm.AggXMLFrag, Arg: xqgm.Col(0)})
+	un := xqgm.NewUnnest(gb, 1)
+	if _, _, err := CreateAKGraph(s, un, "product", xqgm.SrcDelta); err == nil {
+		t.Error("expected error for Unnest in path graph")
+	}
+}
+
+// TestUnionViewAffectedKeys exercises the Union case of CreateAKGraph with
+// a view that unions two selections of products.
+func TestUnionViewAffectedKeys(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Schema()
+	pdef, _ := s.Table("product")
+	p1 := xqgm.NewTable(pdef, xqgm.SrcBase)
+	samsung := xqgm.NewSelect(p1, &xqgm.Cmp{Op: "=", L: xqgm.Col(2), R: xqgm.LitOf(xdm.Str("Samsung"))})
+	crt := xqgm.NewSelect(p1, &xqgm.Cmp{Op: "=", L: xqgm.Col(1), R: xqgm.LitOf(xdm.Str("CRT 15"))})
+	u := xqgm.NewUnion(true, samsung, crt)
+	xqgm.DeriveKeys(u)
+	an, err := CreateANGraph(s, reldb.EvUpdate, u, "product", Options{Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Update P1's mfr: P1 is in both branches (Samsung + CRT 15); changing
+	// mfr to Sony removes it from the first branch but keeps it via CRT 15,
+	// and its visible tuple changes.
+	deltas := captureStatement(t, db, "product", func() error {
+		_, err := db.UpdateByPK("product", []xdm.Value{xdm.Str("P1")}, func(r reldb.Row) reldb.Row {
+			r[2] = xdm.Str("Sony")
+			return r
+		})
+		return err
+	})
+	pairs, err := an.Eval(db, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("union view updates = %d, want 1", len(pairs))
+	}
+	if pairs[0].Old[2].AsString() != "Samsung" || pairs[0].New[2].AsString() != "Sony" {
+		t.Errorf("pair = %v -> %v", pairs[0].Old, pairs[0].New)
+	}
+}
+
+// TestBothJoinSidesAffected exercises the union-of-cross-products branch: a
+// self-ish scenario where one statement's table appears on both sides of a
+// join. We join vendor with vendor (same table twice) on pid to find
+// co-vendors, then check affected keys after a price update.
+func TestBothJoinSidesAffected(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Schema()
+	vdef, _ := s.Table("vendor")
+	va := xqgm.NewTable(vdef, xqgm.SrcBase)
+	vb := xqgm.NewTable(vdef, xqgm.SrcBase)
+	join := xqgm.NewJoin(xqgm.JoinInner, va, vb, []xqgm.JoinEq{{L: 1, R: 1}}, nil)
+	top := xqgm.NewProject(join,
+		xqgm.Proj{Name: "a_vid", E: xqgm.Col(0)},
+		xqgm.Proj{Name: "a_pid", E: xqgm.Col(1)},
+		xqgm.Proj{Name: "b_vid", E: xqgm.Col(3)},
+		xqgm.Proj{Name: "b_pid", E: xqgm.Col(4)},
+		xqgm.Proj{Name: "pair", E: &xqgm.ElemCtor{Name: "pair", Attrs: []xqgm.AttrSpec{
+			{Name: "a", E: xqgm.Col(0)},
+			{Name: "b", E: xqgm.Col(3)},
+			{Name: "pa", E: xqgm.Col(2)},
+			{Name: "pb", E: xqgm.Col(5)},
+		}}},
+	)
+	xqgm.DeriveKeys(top)
+	if top.Key == nil {
+		t.Fatal("self-join view must have a key")
+	}
+	an, err := CreateANGraph(s, reldb.EvUpdate, top, "vendor", Options{Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := captureStatement(t, db, "vendor", func() error {
+		_, err := db.UpdateByPK("vendor", []xdm.Value{xdm.Str("Amazon"), xdm.Str("P1")}, func(r reldb.Row) reldb.Row {
+			r[2] = xdm.Float(75)
+			return r
+		})
+		return err
+	})
+	pairs, err := an.Eval(db, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P1 has 3 vendors; pairs involving Amazon on either side change:
+	// (Amazon, X) 3 + (X, Amazon) 3 - (Amazon, Amazon) counted twice = 5.
+	if len(pairs) != 5 {
+		t.Errorf("affected self-join pairs = %d, want 5", len(pairs))
+	}
+}

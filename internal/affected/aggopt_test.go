@@ -1,0 +1,283 @@
+package affected
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"quark/internal/fixtures"
+	"quark/internal/reldb"
+	"quark/internal/schema"
+	"quark/internal/xdm"
+	"quark/internal/xqgm"
+)
+
+// buildCountView constructs a catalog-like path graph whose only aggregates
+// are distributive: <product name={pname} cnt={count}/> for products with
+// at least minVendors vendors. Fully rewritable by GROUPED-AGG.
+func buildCountView(s *schema.Schema, minVendors int64) (*xqgm.Operator, int, int) {
+	prodDef, _ := s.Table("product")
+	vendDef, _ := s.Table("vendor")
+	prod := xqgm.NewTable(prodDef, xqgm.SrcBase)
+	vend := xqgm.NewTable(vendDef, xqgm.SrcBase)
+	join := xqgm.NewJoin(xqgm.JoinInner, prod, vend, []xqgm.JoinEq{{L: 0, R: 1}}, nil)
+	g := xqgm.NewGroupBy(join, []int{1},
+		xqgm.Agg{Name: "cnt", Func: xqgm.AggCount},
+		xqgm.Agg{Name: "total", Func: xqgm.AggSum, Arg: xqgm.Col(5)},
+	)
+	sel := xqgm.NewSelect(g, &xqgm.Cmp{Op: ">=", L: xqgm.Col(1), R: xqgm.LitOf(xdm.Int(minVendors))})
+	elem := &xqgm.ElemCtor{Name: "product", Attrs: []xqgm.AttrSpec{
+		{Name: "name", E: xqgm.Col(0)},
+		{Name: "cnt", E: xqgm.Col(1)},
+		{Name: "total", E: xqgm.Col(2)},
+	}}
+	top := xqgm.NewProject(sel,
+		xqgm.Proj{Name: "product", E: elem},
+		xqgm.Proj{Name: "pname", E: xqgm.Col(0)},
+	)
+	xqgm.DeriveKeys(top)
+	return top, 0, 1
+}
+
+func pairKey(p Pair, nameCol int) string {
+	if !p.New[nameCol].IsNull() {
+		return p.New[nameCol].AsString()
+	}
+	return p.Old[nameCol].AsString()
+}
+
+func sortedPairStrings(pairs []Pair, nodeCol, nameCol int) []string {
+	out := make([]string, 0, len(pairs))
+	for _, p := range pairs {
+		oldS, newS := "∅", "∅"
+		if n := p.Old[nodeCol].AsNode(); n != nil {
+			oldS = n.Serialize(false)
+		}
+		if n := p.New[nodeCol].AsNode(); n != nil {
+			newS = n.Serialize(false)
+		}
+		out = append(out, pairKey(p, nameCol)+" :: "+oldS+" -> "+newS)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestOldAggDeltaEquivalence: for a fully-distributive view, the
+// GROUPED-AGG graph must produce exactly the same (OLD, NEW) pairs as the
+// direct B_old computation, across random statements and all events.
+func TestOldAggDeltaEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Schema()
+	if err := db.CreateIndex("product", "pname"); err != nil {
+		t.Fatal(err)
+	}
+
+	makeGraphs := func(ev reldb.Event, aggOpt bool) *ANGraph {
+		g, nodeCol, _ := buildCountView(s, 2)
+		_ = nodeCol
+		an, err := CreateANGraph(s, ev, g, "vendor", Options{
+			Prune:       true,
+			OldAggDelta: aggOpt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return an
+	}
+
+	pids := []string{"P1", "P2", "P3"}
+	vids := []string{"Amazon", "Bestbuy", "Buy.com", "Circuitcity", "Newegg"}
+	for step := 0; step < 30; step++ {
+		var deltas map[string]*xqgm.Transition
+		switch r.Intn(3) {
+		case 0:
+			vid, pid := vids[r.Intn(len(vids))], pids[r.Intn(len(pids))]
+			if _, ok, _ := db.GetByPK("vendor", xdm.Str(vid), xdm.Str(pid)); ok {
+				continue
+			}
+			deltas = captureStatement(t, db, "vendor", func() error {
+				return db.Insert("vendor", reldb.Row{xdm.Str(vid), xdm.Str(pid), xdm.Float(float64(50 + r.Intn(200)))})
+			})
+		case 1:
+			pid := pids[r.Intn(len(pids))]
+			price := float64(50 + r.Intn(200))
+			deltas = captureStatement(t, db, "vendor", func() error {
+				_, err := db.Update("vendor",
+					func(row reldb.Row) bool { return row[1].AsString() == pid },
+					func(row reldb.Row) reldb.Row { row[2] = xdm.Float(price); return row })
+				return err
+			})
+		case 2:
+			vid := vids[r.Intn(len(vids))]
+			deltas = captureStatement(t, db, "vendor", func() error {
+				_, err := db.Delete("vendor", func(row reldb.Row) bool { return row[0].AsString() == vid })
+				return err
+			})
+		}
+		for _, ev := range []reldb.Event{reldb.EvUpdate, reldb.EvInsert, reldb.EvDelete} {
+			plain, err := makeGraphs(ev, false).Eval(db, deltas)
+			if err != nil {
+				t.Fatalf("step %d %v plain: %v", step, ev, err)
+			}
+			opt, err := makeGraphs(ev, true).Eval(db, deltas)
+			if err != nil {
+				t.Fatalf("step %d %v agg-opt: %v", step, ev, err)
+			}
+			ps := sortedPairStrings(plain, 0, 1)
+			os := sortedPairStrings(opt, 0, 1)
+			if fmt.Sprint(ps) != fmt.Sprint(os) {
+				t.Fatalf("step %d %v mismatch:\nplain: %v\nopt:   %v", step, ev, ps, os)
+			}
+		}
+	}
+}
+
+// TestOldAggDeltaRewriteApplied: the rewrite actually fires for the count
+// view and not for a min-aggregate view.
+func TestOldAggDeltaRewriteApplied(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Schema()
+	g, _, _ := buildCountView(s, 2)
+	gb := findGroupBy(g)
+	if gb == nil || !rewritableGroupBy(gb, "vendor", false) {
+		t.Error("count view GroupBy should be rewritable without elision")
+	}
+	mp, _, _, _ := buildMinPriceView(s)
+	mgb := findGroupBy(mp)
+	if mgb == nil || rewritableGroupBy(mgb, "vendor", true) {
+		t.Error("min view GroupBy must not be rewritable (min is not distributive)")
+	}
+	// Catalog view: rewritable only with XMLFrag elision.
+	v := fixtures.BuildCatalogView(s, 2)
+	cgb := findGroupBy(v.ProductProj)
+	if rewritableGroupBy(cgb, "vendor", false) {
+		t.Error("catalog GroupBy must not be rewritable without elision (aggXMLFrag)")
+	}
+	if !rewritableGroupBy(cgb, "vendor", true) {
+		t.Error("catalog GroupBy should be rewritable with elision")
+	}
+}
+
+func findGroupBy(root *xqgm.Operator) *xqgm.Operator {
+	var out *xqgm.Operator
+	xqgm.Walk(root, func(o *xqgm.Operator) {
+		if o.Type == xqgm.OpGroupBy && out == nil {
+			out = o
+		}
+	})
+	return out
+}
+
+// TestElidedOldXMLFrag: with elision + SkipValueCompare on the catalog
+// view, affected keys and NEW nodes stay correct while OLD node content is
+// dropped (the engine only enables this when OLD_NODE content is unused).
+func TestElidedOldXMLFrag(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Schema()
+	if err := db.CreateIndex("product", "pname"); err != nil {
+		t.Fatal(err)
+	}
+	v := fixtures.BuildCatalogView(s, 2)
+	an, err := CreateANGraph(s, reldb.EvUpdate, v.ProductProj, "vendor", Options{
+		Prune:            true,
+		SkipValueCompare: true, // catalog view is injective w.r.t. vendor
+		OldAggDelta:      true,
+		ElideOldXMLFrag:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := captureStatement(t, db, "vendor", func() error {
+		_, err := db.UpdateByPK("vendor", []xdm.Value{xdm.Str("Amazon"), xdm.Str("P1")}, func(r reldb.Row) reldb.Row {
+			r[2] = xdm.Float(75)
+			return r
+		})
+		return err
+	})
+	pairs, err := an.Eval(db, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %d, want 1 (CRT 15)", len(pairs))
+	}
+	p := pairs[0]
+	if p.New[v.ProdNameCol].AsString() != "CRT 15" {
+		t.Errorf("key = %q", p.New[v.ProdNameCol].AsString())
+	}
+	newNode := p.New[v.ProdNodeCol].AsNode()
+	if len(newNode.ChildElements("vendor")) != 5 {
+		t.Errorf("NEW node vendors = %d, want 5", len(newNode.ChildElements("vendor")))
+	}
+	// The new node reflects the new price.
+	found := false
+	for _, vd := range newNode.ChildElements("vendor") {
+		if vd.ChildElements("vid")[0].TextContent() == "Amazon" &&
+			vd.ChildElements("price")[0].TextContent() == "75.00" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("NEW node missing updated Amazon price")
+	}
+	// The OLD node is a shell: correct name, elided children.
+	oldNode := p.Old[v.ProdNodeCol].AsNode()
+	if n, _ := oldNode.Attribute("name"); n != "CRT 15" {
+		t.Errorf("OLD node name = %q", n)
+	}
+	if len(oldNode.ChildElements("vendor")) != 0 {
+		t.Error("OLD node children should be elided under ElideOldXMLFrag")
+	}
+	// Old count (on the scalar column) must still be exact: 5.
+	if cnt := p.Old[v.ProdCountCol].AsInt(); cnt != 5 {
+		t.Errorf("OLD cnt = %d, want 5 (delta-adjusted)", cnt)
+	}
+}
+
+// TestOldCountCrossingWithAggOpt: GROUPED-AGG must detect INSERT/DELETE
+// events (count threshold crossings), which depend on exact old counts.
+func TestOldCountCrossingWithAggOpt(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Schema()
+	if err := db.CreateIndex("product", "pname"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("product", reldb.Row{xdm.Str("P4"), xdm.Str("OLED 27"), xdm.Str("LG")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("vendor", reldb.Row{xdm.Str("Amazon"), xdm.Str("P4"), xdm.Float(900)}); err != nil {
+		t.Fatal(err)
+	}
+	g, nodeCol, nameCol := buildCountView(s, 2)
+	an, err := CreateANGraph(s, reldb.EvInsert, g, "vendor", Options{Prune: true, OldAggDelta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := captureStatement(t, db, "vendor", func() error {
+		return db.Insert("vendor", reldb.Row{xdm.Str("Bestbuy"), xdm.Str("P4"), xdm.Float(950)})
+	})
+	pairs, err := an.Eval(db, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("INSERT events = %d, want 1 (OLED 27 crossed the threshold)", len(pairs))
+	}
+	if pairs[0].New[nameCol].AsString() != "OLED 27" || !pairs[0].Old[nodeCol].IsNull() {
+		t.Errorf("pair = %v", pairs[0])
+	}
+}

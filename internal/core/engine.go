@@ -1,0 +1,738 @@
+// Package core is the system of Figure 6: an active XML-publishing engine
+// that accepts XML views (XQuery over the default view) and XML triggers,
+// translates the triggers into SQL statement triggers on the underlying
+// relational engine, and activates trigger actions with OLD_NODE/NEW_NODE
+// parameters when base updates affect the monitored view nodes.
+//
+// Three translation modes reproduce the paper's evaluated systems
+// (Section 6): ModeUngrouped (one SQL trigger set per XML trigger),
+// ModeGrouped (structurally similar triggers share one SQL trigger via a
+// constants table, Section 5.1), and ModeGroupedAgg (additionally derives
+// old aggregates from new values and transition tables, Section 5.2). A
+// fourth mode, ModeMaterialized, implements the strawman the paper argues
+// against — materialize the view and diff it on every update — and doubles
+// as a correctness oracle in tests.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"quark/internal/affected"
+	"quark/internal/compile"
+	"quark/internal/events"
+	"quark/internal/grouping"
+	"quark/internal/reldb"
+	"quark/internal/trigger"
+	"quark/internal/xdm"
+	"quark/internal/xqgm"
+	"quark/internal/xquery"
+)
+
+// Mode selects the trigger translation strategy.
+type Mode uint8
+
+// Translation modes.
+const (
+	ModeUngrouped Mode = iota
+	ModeGrouped
+	ModeGroupedAgg
+	ModeMaterialized
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeUngrouped:
+		return "UNGROUPED"
+	case ModeGrouped:
+		return "GROUPED"
+	case ModeGroupedAgg:
+		return "GROUPED-AGG"
+	case ModeMaterialized:
+		return "MATERIALIZED"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Invocation is passed to an action function when its trigger fires.
+type Invocation struct {
+	Trigger string
+	Event   reldb.Event
+	Old     *xdm.Node // nil for INSERT events
+	New     *xdm.Node // nil for DELETE events
+	Args    []xdm.Value
+}
+
+// ActionFunc is a registered external function (paper Section 2.2: "the
+// action is a call to an external function").
+type ActionFunc func(inv Invocation) error
+
+// Stats reports engine state and activity.
+type Stats struct {
+	XMLTriggers int
+	SQLTriggers int
+	Groups      int
+	Fires       int64
+	Actions     int64
+}
+
+// Engine ties the pipeline together over one relational database.
+type Engine struct {
+	mu      sync.Mutex
+	db      *reldb.DB
+	comp    *compile.Compiler
+	mode    Mode
+	actions map[string]ActionFunc
+
+	triggers map[string]*TriggerInfo
+	groups   map[string]*group
+	order    []string // group signatures in creation order
+	dirty    bool
+	sqlSeq   int
+	sqlNames []string
+
+	fires   int64
+	actsRun int64
+}
+
+// TriggerInfo is one registered XML trigger.
+type TriggerInfo struct {
+	Spec     *trigger.Spec
+	Consts   []xdm.Value
+	groupSig string
+}
+
+// group is a set of structurally similar triggers sharing plans.
+type group struct {
+	sig     string
+	event   reldb.Event
+	view    string
+	nav     *compile.NavNode
+	members map[string]*TriggerInfo
+	order   []string
+	// built at flush:
+	plans []*installedPlan
+}
+
+// installedPlan is one compiled SQL-trigger body.
+type installedPlan struct {
+	table      string
+	an         *affected.ANGraph
+	root       *xqgm.Operator
+	trigIDsCol int                    // -1 for ungrouped plans
+	trigID     string                 // ungrouped: the single owner
+	args       map[string][]xqgm.Expr // trigID -> compiled action args
+	sqlText    string
+}
+
+// NewEngine creates an engine over db using the given translation mode.
+func NewEngine(db *reldb.DB, mode Mode) *Engine {
+	return &Engine{
+		db:       db,
+		comp:     compile.New(db.Schema()),
+		mode:     mode,
+		actions:  map[string]ActionFunc{},
+		triggers: map[string]*TriggerInfo{},
+		groups:   map[string]*group{},
+	}
+}
+
+// DB returns the underlying relational database.
+func (e *Engine) DB() *reldb.DB { return e.db }
+
+// Mode returns the translation mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// CreateView compiles and registers an XQuery view.
+func (e *Engine) CreateView(name, src string) (*compile.ViewDef, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.comp.CompileView(name, src)
+}
+
+// View returns a registered view.
+func (e *Engine) View(name string) (*compile.ViewDef, bool) { return e.comp.View(name) }
+
+// RegisterAction installs an external action function.
+func (e *Engine) RegisterAction(name string, fn ActionFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.actions[name] = fn
+}
+
+// CreateTrigger parses and registers an XML trigger; installation of the
+// translated SQL triggers is deferred until Flush (or the next statement
+// through the engine's Exec helpers).
+func (e *Engine) CreateTrigger(src string) error {
+	spec, err := trigger.Parse(src)
+	if err != nil {
+		return err
+	}
+	return e.CreateTriggerSpec(spec)
+}
+
+// CreateTriggerSpec registers a pre-parsed trigger.
+func (e *Engine) CreateTriggerSpec(spec *trigger.Spec) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.triggers[spec.Name]; dup {
+		return fmt.Errorf("core: duplicate trigger %q", spec.Name)
+	}
+	if _, ok := e.actions[spec.ActionFn]; !ok {
+		return fmt.Errorf("core: action function %q is not registered", spec.ActionFn)
+	}
+	nav, err := e.resolvePath(spec)
+	if err != nil {
+		return err
+	}
+	// Collect the trigger's condition constants (traversal order matches
+	// the abstracted template used for grouping).
+	cc := &condCompiler{nav: nav, layout: identityLayout(nav), abstract: true}
+	if spec.Condition != nil {
+		if _, err := cc.compile(spec.Condition); err != nil {
+			return err
+		}
+	}
+	sig := e.signature(spec)
+	ti := &TriggerInfo{Spec: spec, Consts: cc.consts, groupSig: sig}
+	g, ok := e.groups[sig]
+	if !ok {
+		g = &group{sig: sig, event: spec.Event, view: spec.ViewName, nav: nav, members: map[string]*TriggerInfo{}}
+		e.groups[sig] = g
+		e.order = append(e.order, sig)
+	}
+	g.members[spec.Name] = ti
+	g.order = append(g.order, spec.Name)
+	e.triggers[spec.Name] = ti
+	e.dirty = true
+	return nil
+}
+
+// DropTrigger removes an XML trigger.
+func (e *Engine) DropTrigger(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ti, ok := e.triggers[name]
+	if !ok {
+		return fmt.Errorf("core: no trigger %q", name)
+	}
+	delete(e.triggers, name)
+	g := e.groups[ti.groupSig]
+	delete(g.members, name)
+	for i, n := range g.order {
+		if n == name {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	if len(g.members) == 0 {
+		delete(e.groups, ti.groupSig)
+		for i, s := range e.order {
+			if s == ti.groupSig {
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				break
+			}
+		}
+	}
+	e.dirty = true
+	return nil
+}
+
+// identityLayout is used for constant collection (layout-independent).
+func identityLayout(nav *compile.NavNode) Layout {
+	w := nav.Op.OutWidth()
+	return Layout{NewCol: func(i int) int { return i }, OldCol: func(i int) int { return w + i }}
+}
+
+// resolvePath composes the trigger Path with the view (Section 3.3): the
+// navigation tree locates the operator producing the monitored elements.
+func (e *Engine) resolvePath(spec *trigger.Spec) (*compile.NavNode, error) {
+	v, ok := e.comp.View(spec.ViewName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown view %q", spec.ViewName)
+	}
+	nav := v.Nav
+	for i, st := range spec.PathSteps {
+		if len(st.Preds) > 0 {
+			return nil, fmt.Errorf("core: predicates in trigger paths are not supported; use WHERE")
+		}
+		switch st.Axis {
+		case "child":
+			// Allow naming the document element as the first step.
+			if i == 0 && st.Name == nav.ElemName {
+				continue
+			}
+			c := nav.Child(st.Name)
+			if c == nil {
+				return nil, fmt.Errorf("core: view %q has no element %q under %q", spec.ViewName, st.Name, nav.ElemName)
+			}
+			nav = c
+		case "descendant":
+			c := nav.Find(st.Name)
+			if c == nil || c == nav {
+				return nil, fmt.Errorf("core: view %q has no descendant element %q", spec.ViewName, st.Name)
+			}
+			nav = c
+		default:
+			return nil, fmt.Errorf("core: unsupported axis %q in trigger path", st.Axis)
+		}
+	}
+	if nav.Op == nil {
+		return nil, fmt.Errorf("core: path resolves to no producer")
+	}
+	return nav, nil
+}
+
+// signature groups structurally similar triggers: same view, path, event,
+// condition shape (literals abstracted), and action shape.
+func (e *Engine) signature(spec *trigger.Spec) string {
+	var sb strings.Builder
+	if e.mode == ModeUngrouped {
+		// UNGROUPED never shares plans: every trigger is its own group,
+		// producing one SQL trigger set per XML trigger (Section 6's
+		// UNGROUPED system).
+		sb.WriteString(spec.Name)
+		sb.WriteByte('|')
+	}
+	sb.WriteString(spec.ViewName)
+	sb.WriteByte('|')
+	sb.WriteString(spec.PathString())
+	sb.WriteByte('|')
+	sb.WriteString(spec.Event.String())
+	sb.WriteByte('|')
+	sb.WriteString(abstractString(spec.Condition))
+	sb.WriteByte('|')
+	sb.WriteString(spec.ActionFn)
+	for _, a := range spec.ActionArgs {
+		sb.WriteByte(',')
+		sb.WriteString(abstractString(a))
+	}
+	return sb.String()
+}
+
+// abstractString renders an expression with literals replaced by "?".
+func abstractString(ex xquery.Expr) string {
+	if ex == nil {
+		return "<none>"
+	}
+	s := xquery.String(ex)
+	// Cheap structural abstraction: strip quoted strings and numbers.
+	var sb strings.Builder
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c == '"' {
+			sb.WriteByte('?')
+			i++
+			for i < len(s) && s[i] != '"' {
+				i++
+			}
+			i++
+			continue
+		}
+		if c >= '0' && c <= '9' {
+			sb.WriteByte('?')
+			for i < len(s) && ((s[i] >= '0' && s[i] <= '9') || s[i] == '.') {
+				i++
+			}
+			continue
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	return sb.String()
+}
+
+// Flush builds and installs the SQL triggers for all registered XML
+// triggers (Figure 6's Event Pushdown → Affected-Node Graph Generation →
+// Trigger Grouping → Trigger Pushdown pipeline). It is idempotent.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.flushLocked()
+}
+
+func (e *Engine) flushLocked() error {
+	if !e.dirty {
+		return nil
+	}
+	// Drop previously installed SQL triggers and rebuild.
+	for _, n := range e.sqlNames {
+		_ = e.db.DropTrigger(n)
+	}
+	e.sqlNames = nil
+
+	for _, sig := range e.order {
+		g := e.groups[sig]
+		var err error
+		if e.mode == ModeMaterialized {
+			err = e.buildMaterialized(g)
+		} else {
+			err = e.buildGroup(g)
+		}
+		if err != nil {
+			return fmt.Errorf("core: building trigger group %q: %w", sig, err)
+		}
+	}
+	e.dirty = false
+	return nil
+}
+
+// buildGroup compiles and installs the plans for one trigger group.
+func (e *Engine) buildGroup(g *group) error {
+	g.plans = nil
+	srcEvents := events.GetSrcEvents(e.db.Schema(), g.nav.Op, g.event)
+	tables := map[string][]reldb.Event{}
+	var tableOrder []string
+	for _, te := range srcEvents {
+		if _, seen := tables[te.Table]; !seen {
+			tableOrder = append(tableOrder, te.Table)
+		}
+		tables[te.Table] = append(tables[te.Table], te.Event)
+	}
+
+	first := g.members[g.order[0]]
+	for _, table := range tableOrder {
+		plan, err := e.buildTablePlan(g, first, table)
+		if err != nil {
+			return err
+		}
+		g.plans = append(g.plans, plan)
+		e.ensureIndexes(plan.root)
+		for _, relEv := range tables[table] {
+			e.sqlSeq++
+			name := fmt.Sprintf("xmlTrig_%d", e.sqlSeq)
+			p := plan
+			body := func(ctx *reldb.FireContext) error { return e.fire(g, p, ctx) }
+			if err := e.db.CreateTrigger(&reldb.SQLTrigger{
+				Name: name, Table: table, Event: relEv, Body: body, SQL: plan.sqlText,
+			}); err != nil {
+				return err
+			}
+			e.sqlNames = append(e.sqlNames, name)
+		}
+	}
+	return nil
+}
+
+// buildTablePlan builds the affected-node graph and the (grouped or
+// per-trigger) plan for one base table.
+func (e *Engine) buildTablePlan(g *group, first *TriggerInfo, table string) (*installedPlan, error) {
+	s := e.db.Schema()
+	opts := affected.Options{Prune: true}
+	injective := affected.InjectiveFor(g.nav.Op, table)
+	if injective {
+		opts.SkipValueCompare = true
+	} else {
+		opts.CompareCols = []int{g.nav.NodeCol}
+	}
+
+	an, err := affected.CreateANGraph(s, g.event, g.nav.Op, table, opts)
+	if err != nil {
+		return nil, err
+	}
+	layout := Layout{NewCol: an.NewCol, OldCol: an.OldCol}
+
+	// Compile the shared condition template (abstracted constants).
+	tcc := &condCompiler{nav: g.nav, layout: layout, abstract: true}
+	var template xqgm.Expr
+	if first.Spec.Condition != nil {
+		template, err = tcc.compile(first.Spec.Condition)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// GROUPED-AGG: rebuild the ANGraph with the Section 5.2 optimization
+	// when it is sound (injective view, OLD_NODE content unused). The
+	// layout is unchanged by these options.
+	if e.mode == ModeGroupedAgg {
+		oldContent := tcc.oldContentUsed || e.actionUsesOldContent(g, layout)
+		opts.OldAggDelta = true
+		if injective && !oldContent {
+			opts.ElideOldXMLFrag = true
+		}
+		an, err = affected.CreateANGraph(s, g.event, g.nav.Op, table, opts)
+		if err != nil {
+			return nil, err
+		}
+		layout = Layout{NewCol: an.NewCol, OldCol: an.OldCol}
+		tcc = &condCompiler{nav: g.nav, layout: layout, abstract: true}
+		if first.Spec.Condition != nil {
+			template, err = tcc.compile(first.Spec.Condition)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	plan := &installedPlan{table: table, an: an, args: map[string][]xqgm.Expr{}}
+
+	if e.mode == ModeUngrouped {
+		// One plan per member (callers install one SQL trigger per member
+		// by creating one group per trigger; here a multi-member group in
+		// ungrouped mode evaluates each member's plan separately).
+		// For simplicity the ungrouped plan handles exactly one member;
+		// multi-member groups are split by the caller at trigger-creation
+		// time (signatures include the trigger name in ungrouped mode).
+		ti := first
+		var root *xqgm.Operator = an.Root
+		if template != nil {
+			bound := grouping.Bind(template, ti.Consts)
+			root = xqgm.NewSelect(an.Root, bound)
+		}
+		plan.root = root
+		plan.trigIDsCol = -1
+		plan.trigID = ti.Spec.Name
+		args, err := e.compileArgs(g, ti, layout)
+		if err != nil {
+			return nil, err
+		}
+		plan.args[ti.Spec.Name] = args
+		plan.sqlText = RenderSQL(root)
+		return plan, nil
+	}
+
+	// GROUPED / GROUPED-AGG: constants table + shared plan.
+	gg := grouping.NewGroup(g.sig, template, len(first.Consts))
+	for _, name := range g.order {
+		ti := g.members[name]
+		if err := gg.Add(name, ti.Consts); err != nil {
+			return nil, err
+		}
+	}
+	gp := grouping.BuildGroupedPlan(gg, an.Root)
+	plan.root = gp.Root
+	plan.trigIDsCol = gp.TrigIDsCol
+	for _, name := range g.order {
+		ti := g.members[name]
+		args, err := e.compileArgs(g, ti, layout)
+		if err != nil {
+			return nil, err
+		}
+		plan.args[name] = args
+	}
+	plan.sqlText = RenderSQL(gp.Root)
+	return plan, nil
+}
+
+// actionUsesOldContent reports whether any member's action arguments read
+// OLD_NODE content.
+func (e *Engine) actionUsesOldContent(g *group, layout Layout) bool {
+	for _, name := range g.order {
+		ti := g.members[name]
+		cc := &condCompiler{nav: g.nav, layout: layout}
+		for _, a := range ti.Spec.ActionArgs {
+			if _, err := cc.compile(a); err != nil {
+				return true // be conservative on compile errors
+			}
+		}
+		if cc.oldContentUsed {
+			return true
+		}
+	}
+	return false
+}
+
+// compileArgs compiles a member's action arguments (concrete constants).
+func (e *Engine) compileArgs(g *group, ti *TriggerInfo, layout Layout) ([]xqgm.Expr, error) {
+	cc := &condCompiler{nav: g.nav, layout: layout}
+	out := make([]xqgm.Expr, len(ti.Spec.ActionArgs))
+	for i, a := range ti.Spec.ActionArgs {
+		ce, err := cc.compile(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ce
+	}
+	return out, nil
+}
+
+// fire is the body of an installed SQL trigger: evaluate the plan over the
+// transition tables, tag results, and activate the member triggers.
+func (e *Engine) fire(g *group, plan *installedPlan, ctx *reldb.FireContext) error {
+	e.fires++
+	deltas := map[string]*xqgm.Transition{
+		ctx.Table: {Inserted: ctx.Inserted, Deleted: ctx.Deleted},
+	}
+	ectx := xqgm.NewEvalContext(e.db, deltas)
+	rows, err := ectx.Eval(plan.root)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	// Sorted activation (the ORDER BY of Figure 16): by TrigIDs then by
+	// the affected key.
+	sort.SliceStable(rows, func(i, j int) bool {
+		if plan.trigIDsCol >= 0 {
+			a, b := rows[i][plan.trigIDsCol].AsString(), rows[j][plan.trigIDsCol].AsString()
+			if a != b {
+				return a < b
+			}
+		}
+		return xdm.TupleKey(rows[i]) < xdm.TupleKey(rows[j])
+	})
+	for _, row := range rows {
+		var ids []string
+		if plan.trigIDsCol >= 0 {
+			ids = grouping.SplitTriggerIDs(row[plan.trigIDsCol])
+		} else {
+			ids = []string{plan.trigID}
+		}
+		oldNode := row[plan.an.OldCol(g.nav.NodeCol)].AsNode()
+		newNode := row[plan.an.NewCol(g.nav.NodeCol)].AsNode()
+		for _, id := range ids {
+			ti, ok := g.members[id]
+			if !ok {
+				continue
+			}
+			argExprs := plan.args[id]
+			args := make([]xdm.Value, len(argExprs))
+			env := &xqgm.Env{In: [2][]xdm.Value{row, nil}}
+			for i, ae := range argExprs {
+				v, err := ae.Eval(env)
+				if err != nil {
+					return err
+				}
+				args[i] = v
+			}
+			fn := e.actions[ti.Spec.ActionFn]
+			e.actsRun++
+			if err := fn(Invocation{
+				Trigger: id,
+				Event:   g.event,
+				Old:     oldNode,
+				New:     newNode,
+				Args:    args,
+			}); err != nil {
+				return fmt.Errorf("core: action %s of trigger %s: %w", ti.Spec.ActionFn, id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ensureIndexes creates hash indexes on base-table columns used as
+// equi-join keys anywhere in the plan ("appropriate indices on the key
+// columns and other join columns", Section 6.1).
+func (e *Engine) ensureIndexes(root *xqgm.Operator) {
+	xqgm.Walk(root, func(o *xqgm.Operator) {
+		if o.Type != xqgm.OpJoin {
+			return
+		}
+		for _, eq := range o.On {
+			e.indexIfBase(o.Inputs[0], eq.L)
+			e.indexIfBase(o.Inputs[1], eq.R)
+		}
+	})
+}
+
+func (e *Engine) indexIfBase(op *xqgm.Operator, col int) {
+	switch op.Type {
+	case xqgm.OpTable:
+		if op.Source == xqgm.SrcBase || op.Source == xqgm.SrcOld {
+			if col >= 0 && col < len(op.Names) {
+				_ = e.db.CreateIndex(op.Table, op.Names[col])
+			}
+		}
+	case xqgm.OpSelect, xqgm.OpOrderBy:
+		e.indexIfBase(op.Inputs[0], col)
+	case xqgm.OpProject:
+		if col < len(op.Projs) {
+			if cr, ok := op.Projs[col].E.(*xqgm.ColRef); ok && cr.Input == 0 {
+				e.indexIfBase(op.Inputs[0], cr.Col)
+			}
+		}
+	}
+}
+
+// Stats returns engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		XMLTriggers: len(e.triggers),
+		SQLTriggers: e.db.TriggerCount(),
+		Groups:      len(e.groups),
+		Fires:       e.fires,
+		Actions:     e.actsRun,
+	}
+}
+
+// SQLTexts returns the rendered SQL of all installed plans, keyed by group
+// signature and table (for inspection, like Figure 16).
+func (e *Engine) SQLTexts() map[string]string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := map[string]string{}
+	for sig, g := range e.groups {
+		for _, p := range g.plans {
+			out[sig+"/"+p.table] = p.sqlText
+		}
+	}
+	return out
+}
+
+// --- statement helpers: auto-flush then delegate to the database ---
+
+// Insert flushes pending trigger builds and inserts rows.
+func (e *Engine) Insert(table string, rows ...reldb.Row) error {
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	return e.db.Insert(table, rows...)
+}
+
+// Update flushes pending trigger builds and updates rows.
+func (e *Engine) Update(table string, pred func(reldb.Row) bool, set func(reldb.Row) reldb.Row) (int, error) {
+	if err := e.Flush(); err != nil {
+		return 0, err
+	}
+	return e.db.Update(table, pred, set)
+}
+
+// UpdateByPK flushes pending trigger builds and updates one row.
+func (e *Engine) UpdateByPK(table string, key []xdm.Value, set func(reldb.Row) reldb.Row) (bool, error) {
+	if err := e.Flush(); err != nil {
+		return false, err
+	}
+	return e.db.UpdateByPK(table, key, set)
+}
+
+// Delete flushes pending trigger builds and deletes rows.
+func (e *Engine) Delete(table string, pred func(reldb.Row) bool) (int, error) {
+	if err := e.Flush(); err != nil {
+		return 0, err
+	}
+	return e.db.Delete(table, pred)
+}
+
+// DeleteByPK flushes pending trigger builds and deletes one row.
+func (e *Engine) DeleteByPK(table string, key ...xdm.Value) (bool, error) {
+	if err := e.Flush(); err != nil {
+		return false, err
+	}
+	return e.db.DeleteByPK(table, key...)
+}
+
+// EvalView materializes a registered view (for inspection/examples).
+func (e *Engine) EvalView(name string) (*xdm.Node, error) {
+	v, ok := e.comp.View(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown view %q", name)
+	}
+	ectx := xqgm.NewEvalContext(e.db, nil)
+	rows, err := ectx.Eval(v.Root)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) != 1 {
+		return nil, fmt.Errorf("core: view %q produced %d rows", name, len(rows))
+	}
+	return rows[0][v.Nav.NodeCol].AsNode(), nil
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"quark/internal/grouping"
+	"quark/internal/reldb"
+	"quark/internal/xdm"
+	"quark/internal/xqgm"
+)
+
+// buildMaterialized installs the strawman pipeline the paper argues against
+// in Section 1: the trigger path's result is fully materialized and, after
+// every statement on any underlying table, recomputed and diffed by
+// canonical key. It is expensive by design (cost grows with view size, not
+// with the number of affected nodes) but makes a perfect correctness oracle
+// for the translated-trigger pipeline.
+func (e *Engine) buildMaterialized(g *group) error {
+	vw := g.nav.Op.OutWidth()
+	layout := Layout{
+		NewCol: func(i int) int { return i },
+		OldCol: func(i int) int { return vw + i },
+	}
+
+	// Per-member bound conditions and argument expressions.
+	conds := map[string]xqgm.Expr{}
+	args := map[string][]xqgm.Expr{}
+	for _, name := range g.order {
+		ti := g.members[name]
+		cc := &condCompiler{nav: g.nav, layout: layout, abstract: true}
+		if ti.Spec.Condition != nil {
+			tmpl, err := cc.compile(ti.Spec.Condition)
+			if err != nil {
+				return err
+			}
+			conds[name] = grouping.Bind(tmpl, ti.Consts)
+		}
+		a, err := e.compileArgs(g, ti, layout)
+		if err != nil {
+			return err
+		}
+		args[name] = a
+	}
+
+	// Initial snapshot.
+	snapshot, err := e.materializeSnapshot(g)
+	if err != nil {
+		return err
+	}
+	state := &matState{rows: snapshot}
+
+	body := func(ctx *reldb.FireContext) error {
+		e.fires++
+		after, err := e.materializeSnapshot(g)
+		if err != nil {
+			return err
+		}
+		defer func() { state.rows = after }()
+		before := state.rows
+
+		type pair struct {
+			key      string
+			old, new xqgm.Tuple
+		}
+		var fired []pair
+		switch g.event {
+		case reldb.EvUpdate:
+			for k, nt := range after {
+				if ot, ok := before[k]; ok && !tuplesEqual(ot, nt) {
+					fired = append(fired, pair{k, ot, nt})
+				}
+			}
+		case reldb.EvInsert:
+			for k, nt := range after {
+				if _, ok := before[k]; !ok {
+					fired = append(fired, pair{k, nullTuple(vw), nt})
+				}
+			}
+		case reldb.EvDelete:
+			for k, ot := range before {
+				if _, ok := after[k]; !ok {
+					fired = append(fired, pair{k, ot, nullTuple(vw)})
+				}
+			}
+		}
+		for _, p := range fired {
+			row := make(xqgm.Tuple, 0, 2*vw)
+			row = append(row, p.new...)
+			row = append(row, p.old...)
+			env := &xqgm.Env{In: [2][]xdm.Value{row, nil}}
+			for _, name := range g.order {
+				ti := g.members[name]
+				if c := conds[name]; c != nil {
+					v, err := c.Eval(env)
+					if err != nil {
+						return err
+					}
+					if v.IsNull() || !v.EffectiveBool() {
+						continue
+					}
+				}
+				avals := make([]xdm.Value, len(args[name]))
+				for i, ae := range args[name] {
+					v, err := ae.Eval(env)
+					if err != nil {
+						return err
+					}
+					avals[i] = v
+				}
+				e.actsRun++
+				inv := Invocation{
+					Trigger: name,
+					Event:   g.event,
+					Old:     p.old[g.nav.NodeCol].AsNode(),
+					New:     p.new[g.nav.NodeCol].AsNode(),
+					Args:    avals,
+				}
+				if err := e.actions[ti.Spec.ActionFn](inv); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	// Fire on every event of every table the view reads.
+	for _, table := range xqgm.Tables(g.nav.Op) {
+		for _, ev := range []reldb.Event{reldb.EvInsert, reldb.EvUpdate, reldb.EvDelete} {
+			e.sqlSeq++
+			name := fmt.Sprintf("matTrig_%d", e.sqlSeq)
+			if err := e.db.CreateTrigger(&reldb.SQLTrigger{
+				Name: name, Table: table, Event: ev, Body: body,
+				SQL: "-- materialized view maintenance + diff",
+			}); err != nil {
+				return err
+			}
+			e.sqlNames = append(e.sqlNames, name)
+		}
+	}
+	return nil
+}
+
+type matState struct {
+	rows map[string]xqgm.Tuple
+}
+
+// materializeSnapshot evaluates the path graph and keys rows by canonical
+// key.
+func (e *Engine) materializeSnapshot(g *group) (map[string]xqgm.Tuple, error) {
+	ectx := xqgm.NewEvalContext(e.db, nil)
+	rows, err := ectx.Eval(g.nav.Op)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]xqgm.Tuple, len(rows))
+	for _, r := range rows {
+		ks := make([]xdm.Value, len(g.nav.KeyCols))
+		for i, kc := range g.nav.KeyCols {
+			ks[i] = r[kc]
+		}
+		out[xdm.TupleKey(ks)] = r
+	}
+	return out, nil
+}
+
+func tuplesEqual(a, b xqgm.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !xdm.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func nullTuple(w int) xqgm.Tuple {
+	t := make(xqgm.Tuple, w)
+	for i := range t {
+		t[i] = xdm.Null
+	}
+	return t
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"quark/internal/xqgm"
+)
+
+// RenderSQL renders an XQGM plan as readable SQL text in the style of the
+// paper's Figure 16 (WITH common-table-expressions feeding a final SELECT).
+// The text is for inspection and tests; plans are executed directly by the
+// evaluator.
+func RenderSQL(root *xqgm.Operator) string {
+	r := &sqlRenderer{names: map[*xqgm.Operator]string{}}
+	final := r.render(root)
+	var sb strings.Builder
+	if len(r.ctes) > 0 {
+		sb.WriteString("WITH ")
+		for i, c := range r.ctes {
+			if i > 0 {
+				sb.WriteString(",\n")
+			}
+			sb.WriteString(c.name)
+			sb.WriteString(" AS (\n  ")
+			sb.WriteString(strings.ReplaceAll(c.body, "\n", "\n  "))
+			sb.WriteString("\n)")
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("SELECT * FROM ")
+	sb.WriteString(final)
+	return sb.String()
+}
+
+type cte struct {
+	name string
+	body string
+}
+
+type sqlRenderer struct {
+	names map[*xqgm.Operator]string
+	ctes  []cte
+	seq   int
+}
+
+// render returns a relation name usable in FROM clauses, materializing
+// intermediate operators as CTEs.
+func (r *sqlRenderer) render(o *xqgm.Operator) string {
+	if n, ok := r.names[o]; ok {
+		return n
+	}
+	var body string
+	switch o.Type {
+	case xqgm.OpTable:
+		n := o.Table
+		switch o.Source {
+		case xqgm.SrcDelta, xqgm.SrcDeltaPruned:
+			n = "INSERTED_" + o.Table
+		case xqgm.SrcNabla, xqgm.SrcNablaPruned:
+			n = "DELETED_" + o.Table
+		case xqgm.SrcOld:
+			// B_old per Section 4.2.
+			body = fmt.Sprintf("SELECT * FROM %s EXCEPT SELECT * FROM INSERTED_%s UNION SELECT * FROM DELETED_%s",
+				o.Table, o.Table, o.Table)
+			return r.addCTE(o, o.Table+"_old", body)
+		}
+		r.names[o] = n
+		return n
+	case xqgm.OpConstants:
+		vals := make([]string, 0, len(o.ConstRows))
+		for _, row := range o.ConstRows {
+			cells := make([]string, len(row))
+			for i, e := range row {
+				cells[i] = e.String()
+			}
+			vals = append(vals, "("+strings.Join(cells, ", ")+")")
+		}
+		body = fmt.Sprintf("VALUES %s -- constants(%s)", strings.Join(vals, ", "), strings.Join(o.Names, ", "))
+		return r.addCTE(o, "Constants", body)
+	case xqgm.OpSelect:
+		in := r.render(o.Inputs[0])
+		body = fmt.Sprintf("SELECT * FROM %s\nWHERE %s", in, renderExpr(o.Pred, o.Inputs[0], nil))
+		return r.addCTE(o, "Filtered", body)
+	case xqgm.OpProject:
+		in := r.render(o.Inputs[0])
+		cols := make([]string, len(o.Projs))
+		for i, p := range o.Projs {
+			cols[i] = fmt.Sprintf("%s AS %s", renderExpr(p.E, o.Inputs[0], nil), sqlIdent(p.Name))
+		}
+		body = fmt.Sprintf("SELECT %s\nFROM %s", strings.Join(cols, ", "), in)
+		return r.addCTE(o, "Projected", body)
+	case xqgm.OpJoin:
+		l := r.render(o.Inputs[0])
+		rr := r.render(o.Inputs[1])
+		kind := "JOIN"
+		switch o.JoinKind {
+		case xqgm.JoinLeftOuter:
+			kind = "LEFT OUTER JOIN"
+		case xqgm.JoinLeftAnti:
+			kind = "LEFT ANTI JOIN"
+		case xqgm.JoinRightAnti:
+			kind = "RIGHT ANTI JOIN"
+		}
+		conds := make([]string, 0, len(o.On)+1)
+		lNames := colNames(o.Inputs[0])
+		rNames := colNames(o.Inputs[1])
+		for _, eq := range o.On {
+			conds = append(conds, fmt.Sprintf("L.%s = R.%s", idx(lNames, eq.L), idx(rNames, eq.R)))
+		}
+		if o.JoinPred != nil {
+			conds = append(conds, renderExpr(o.JoinPred, o.Inputs[0], o.Inputs[1]))
+		}
+		onClause := "1=1"
+		if len(conds) > 0 {
+			onClause = strings.Join(conds, " AND ")
+		}
+		body = fmt.Sprintf("SELECT * FROM %s AS L %s %s AS R ON %s", l, kind, rr, onClause)
+		return r.addCTE(o, "Joined", body)
+	case xqgm.OpGroupBy:
+		in := r.render(o.Inputs[0])
+		names := colNames(o.Inputs[0])
+		var cols []string
+		for _, g := range o.GroupCols {
+			cols = append(cols, idx(names, g))
+		}
+		groupClause := strings.Join(cols, ", ")
+		for _, a := range o.Aggs {
+			arg := "*"
+			if a.Arg != nil {
+				arg = renderExpr(a.Arg, o.Inputs[0], nil)
+			}
+			cols = append(cols, fmt.Sprintf("%s(%s) AS %s", strings.ToUpper(a.Func.String()), arg, sqlIdent(a.Name)))
+		}
+		body = fmt.Sprintf("SELECT %s\nFROM %s", strings.Join(cols, ", "), in)
+		if groupClause != "" {
+			body += "\nGROUP BY " + groupClause
+		}
+		return r.addCTE(o, "Grouped", body)
+	case xqgm.OpUnion:
+		parts := make([]string, len(o.Inputs))
+		for i, in := range o.Inputs {
+			parts[i] = "SELECT * FROM " + r.render(in)
+		}
+		sep := "\nUNION ALL\n"
+		if o.Distinct {
+			sep = "\nUNION\n"
+		}
+		body = strings.Join(parts, sep)
+		return r.addCTE(o, "Unioned", body)
+	case xqgm.OpOrderBy:
+		in := r.render(o.Inputs[0])
+		names := colNames(o.Inputs[0])
+		cols := make([]string, len(o.OrderCols))
+		for i, oc := range o.OrderCols {
+			cols[i] = idx(names, oc.Col)
+			if oc.Desc {
+				cols[i] += " DESC"
+			}
+		}
+		body = fmt.Sprintf("SELECT * FROM %s ORDER BY %s", in, strings.Join(cols, ", "))
+		return r.addCTE(o, "Ordered", body)
+	default:
+		return r.addCTE(o, "Op", "-- unsupported operator "+o.Type.String())
+	}
+}
+
+func (r *sqlRenderer) addCTE(o *xqgm.Operator, base, body string) string {
+	r.seq++
+	name := fmt.Sprintf("%s_%d", base, r.seq)
+	r.names[o] = name
+	r.ctes = append(r.ctes, cte{name: name, body: body})
+	return name
+}
+
+func colNames(o *xqgm.Operator) []string {
+	return o.OutNames()
+}
+
+func idx(names []string, i int) string {
+	if i >= 0 && i < len(names) && names[i] != "" {
+		return sqlIdent(names[i])
+	}
+	return fmt.Sprintf("c%d", i)
+}
+
+func sqlIdent(s string) string {
+	if s == "" {
+		return "c"
+	}
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_' {
+			out = append(out, c)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// renderExpr renders an expression; l/r provide column names for inputs 0
+// and 1.
+func renderExpr(e xqgm.Expr, l, r *xqgm.Operator) string {
+	switch x := e.(type) {
+	case *xqgm.ColRef:
+		if x.Input == 0 && l != nil {
+			return idx(colNames(l), x.Col)
+		}
+		if x.Input == 1 && r != nil {
+			return "R." + idx(colNames(r), x.Col)
+		}
+		return fmt.Sprintf("c%d", x.Col)
+	case *xqgm.Lit:
+		return x.String()
+	case *xqgm.Cmp:
+		op := x.Op
+		if op == "!=" {
+			op = "<>"
+		}
+		return fmt.Sprintf("(%s %s %s)", renderExpr(x.L, l, r), op, renderExpr(x.R, l, r))
+	case *xqgm.Arith:
+		op := x.Op
+		if op == "div" {
+			op = "/"
+		}
+		if op == "mod" {
+			op = "%"
+		}
+		return fmt.Sprintf("(%s %s %s)", renderExpr(x.L, l, r), op, renderExpr(x.R, l, r))
+	case *xqgm.Logic:
+		if x.Op == "not" {
+			return "NOT (" + renderExpr(x.Args[0], l, r) + ")"
+		}
+		parts := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			parts[i] = renderExpr(a, l, r)
+		}
+		return "(" + strings.Join(parts, " "+strings.ToUpper(x.Op)+" ") + ")"
+	case *xqgm.IsNullExpr:
+		if x.Neg {
+			return "(" + renderExpr(x.E, l, r) + " IS NOT NULL)"
+		}
+		return "(" + renderExpr(x.E, l, r) + " IS NULL)"
+	case *xqgm.Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = renderExpr(a, l, r)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *xqgm.ElemCtor:
+		// XML construction happens above the SQL level (tagger pull-up);
+		// render as an XMLELEMENT-style pseudo-call.
+		var parts []string
+		for _, a := range x.Attrs {
+			parts = append(parts, fmt.Sprintf("XMLATTRIBUTE(%s AS %s)", renderExpr(a.E, l, r), a.Name))
+		}
+		for _, c := range x.Children {
+			parts = append(parts, renderExpr(c, l, r))
+		}
+		return fmt.Sprintf("XMLELEMENT(%s%s)", sqlIdent(x.Name), prefixComma(parts))
+	default:
+		return e.String()
+	}
+}
+
+func prefixComma(parts []string) string {
+	if len(parts) == 0 {
+		return ""
+	}
+	return ", " + strings.Join(parts, ", ")
+}

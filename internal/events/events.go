@@ -1,0 +1,361 @@
+// Package events implements event pushdown (paper Section 3.3 and
+// Appendix C): given the XQGM graph of a trigger's Path and the XML event
+// being monitored, it determines the minimal set of base-table events
+// (table, INSERT/UPDATE/DELETE) that can cause that XML event, using the
+// operator-specific rules of Table 4 plus a foreign-key refinement that
+// prunes parent-table INSERT/DELETE events which cannot produce or remove
+// join results (this is what reduces the paper's example to "UPDATE on
+// product; INSERT, UPDATE or DELETE on vendor").
+package events
+
+import (
+	"fmt"
+	"sort"
+
+	"quark/internal/reldb"
+	"quark/internal/schema"
+	"quark/internal/xqgm"
+)
+
+// TableEvent is one base-table event that can fire the trigger.
+type TableEvent struct {
+	Table string
+	Event reldb.Event
+}
+
+func (te TableEvent) String() string {
+	return fmt.Sprintf("%s ON %s", te.Event, te.Table)
+}
+
+// colSet is a set of output-column indexes; nil means "all columns".
+type colSet map[int]bool
+
+func allCols() colSet { return nil }
+
+func (c colSet) key() string {
+	if c == nil {
+		return "*"
+	}
+	idx := make([]int, 0, len(c))
+	for i := range c {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return fmt.Sprint(idx)
+}
+
+func (c colSet) has(i int) bool { return c == nil || c[i] }
+
+func (c colSet) empty() bool { return c != nil && len(c) == 0 }
+
+// GetSrcEvents returns the base-table events that can cause event ev on the
+// output of operator o (paper Figure 19). The schema is used for the
+// foreign-key join refinement.
+func GetSrcEvents(s *schema.Schema, o *xqgm.Operator, ev reldb.Event) []TableEvent {
+	p := &pusher{schema: s, seen: map[string]bool{}, memo: map[string]bool{}}
+	p.push(o, ev, allCols())
+	out := make([]TableEvent, 0, len(p.out))
+	out = append(out, p.out...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Event < out[j].Event
+	})
+	return out
+}
+
+type pusher struct {
+	schema *schema.Schema
+	out    []TableEvent
+	seen   map[string]bool // emitted (table, event) pairs
+	memo   map[string]bool // visited (op, event, cols) states
+}
+
+func (p *pusher) emit(table string, ev reldb.Event) {
+	k := fmt.Sprintf("%s/%d", table, ev)
+	if p.seen[k] {
+		return
+	}
+	p.seen[k] = true
+	p.out = append(p.out, TableEvent{Table: table, Event: ev})
+}
+
+func (p *pusher) push(o *xqgm.Operator, ev reldb.Event, cols colSet) {
+	if cols.empty() {
+		return
+	}
+	mk := fmt.Sprintf("%p/%d/%s", o, ev, cols.key())
+	if p.memo[mk] {
+		return
+	}
+	p.memo[mk] = true
+
+	switch o.Type {
+	case xqgm.OpTable, xqgm.OpConstants:
+		if o.Type == xqgm.OpTable {
+			p.emit(o.Table, ev)
+		}
+	case xqgm.OpSelect:
+		in := o.Inputs[0]
+		switch ev {
+		case reldb.EvUpdate:
+			// UPDATE(O,C) ← UPDATE(I,C): the value change passes through,
+			// provided the selection still holds (a predicate flip is an
+			// INSERT/DELETE on O, not an UPDATE).
+			p.push(in, reldb.EvUpdate, cols)
+		case reldb.EvInsert, reldb.EvDelete:
+			// INSERT/DELETE(O) ← INSERT/DELETE(I) and UPDATE(I, Cσ).
+			p.push(in, ev, allCols())
+			p.push(in, reldb.EvUpdate, toSet(xqgm.ExprCols(o.Pred)))
+		}
+	case xqgm.OpOrderBy, xqgm.OpUnnest:
+		p.push(o.Inputs[0], ev, allCols())
+	case xqgm.OpProject:
+		in := o.Inputs[0]
+		switch ev {
+		case reldb.EvUpdate:
+			// "All columns" of a Project means all of its projections — the
+			// input columns it does not reference cannot influence it.
+			ic := colSet{}
+			for c, pr := range o.Projs {
+				if !cols.has(c) {
+					continue
+				}
+				for _, icol := range xqgm.ExprCols(pr.E) {
+					ic[icol] = true
+				}
+			}
+			p.push(in, reldb.EvUpdate, ic)
+		case reldb.EvInsert, reldb.EvDelete:
+			p.push(in, ev, allCols())
+		}
+	case xqgm.OpJoin:
+		p.pushJoin(o, ev, cols)
+	case xqgm.OpGroupBy:
+		p.pushGroupBy(o, ev, cols)
+	case xqgm.OpUnion:
+		for _, in := range o.Inputs {
+			switch ev {
+			case reldb.EvUpdate:
+				p.push(in, reldb.EvUpdate, cols)
+			case reldb.EvInsert, reldb.EvDelete:
+				// Table 4: INSERT/DELETE(O) can come from INSERT/DELETE on
+				// any input, and from UPDATE on any input (a tuple becoming
+				// or ceasing to be a duplicate).
+				p.push(in, ev, allCols())
+				p.push(in, reldb.EvUpdate, allCols())
+			}
+		}
+	}
+}
+
+func toSet(cols []int) colSet {
+	s := colSet{}
+	for _, c := range cols {
+		s[c] = true
+	}
+	return s
+}
+
+func (p *pusher) pushJoin(o *xqgm.Operator, ev reldb.Event, cols colSet) {
+	l, r := o.Inputs[0], o.Inputs[1]
+	lw := l.OutWidth()
+	joinColsL := colSet{}
+	joinColsR := colSet{}
+	for _, eq := range o.On {
+		joinColsL[eq.L] = true
+		joinColsR[eq.R] = true
+	}
+	if o.JoinPred != nil {
+		// Join predicates reference the left input as input 0 and the
+		// right input as input 1.
+		xqgm.RewriteExpr(o.JoinPred, func(x xqgm.Expr) xqgm.Expr {
+			if cr, ok := x.(*xqgm.ColRef); ok {
+				if cr.Input == 0 {
+					joinColsL[cr.Col] = true
+				} else {
+					joinColsR[cr.Col] = true
+				}
+			}
+			return x
+		})
+	}
+	switch ev {
+	case reldb.EvUpdate:
+		lset, rset := splitCols(cols, lw)
+		p.push(l, reldb.EvUpdate, lset)
+		p.push(r, reldb.EvUpdate, rset)
+	case reldb.EvInsert, reldb.EvDelete:
+		// INSERT/DELETE(O) ← INSERT/DELETE on either input, plus UPDATE of
+		// the join columns on either input. The FK refinement prunes
+		// INSERT/DELETE on the parent side of a key/foreign-key join: a
+		// newly inserted (or about-to-be-deleted) parent row cannot match
+		// any child rows while the foreign key holds.
+		parentIsLeft, parentIsRight := p.fkParentSides(o)
+		if !parentIsLeft {
+			p.push(l, ev, allCols())
+		}
+		if !parentIsRight {
+			p.push(r, ev, allCols())
+		}
+		p.push(l, reldb.EvUpdate, joinColsL)
+		p.push(r, reldb.EvUpdate, joinColsR)
+	}
+}
+
+func splitCols(cols colSet, lw int) (colSet, colSet) {
+	if cols == nil {
+		return nil, nil
+	}
+	lset, rset := colSet{}, colSet{}
+	for c := range cols {
+		if c < lw {
+			lset[c] = true
+		} else {
+			rset[c-lw] = true
+		}
+	}
+	return lset, rset
+}
+
+func (p *pusher) pushGroupBy(o *xqgm.Operator, ev reldb.Event, cols colSet) {
+	in := o.Inputs[0]
+	ng := len(o.GroupCols)
+	switch ev {
+	case reldb.EvUpdate:
+		// Input columns of interest: group columns and agg arguments for
+		// the output columns in C.
+		ic := colSet{}
+		onlyGroupCols := true
+		for c := 0; c < ng+len(o.Aggs); c++ {
+			if !cols.has(c) {
+				continue
+			}
+			if c < ng {
+				ic[o.GroupCols[c]] = true
+			} else {
+				onlyGroupCols = false
+				if a := o.Aggs[c-ng]; a.Arg != nil {
+					for _, icol := range xqgm.ExprCols(a.Arg) {
+						ic[icol] = true
+					}
+				}
+			}
+		}
+		p.push(in, reldb.EvUpdate, ic)
+		// Table 4: INSERT(I)/DELETE(I) can change aggregate values, hence
+		// cause UPDATE(O,C), unless C ⊆ G.
+		if !onlyGroupCols {
+			p.push(in, reldb.EvInsert, allCols())
+			p.push(in, reldb.EvDelete, allCols())
+		}
+	case reldb.EvInsert, reldb.EvDelete:
+		// A new/removed group requires an insert/delete on the input or an
+		// update of a grouping column.
+		p.push(in, ev, allCols())
+		gset := colSet{}
+		for _, g := range o.GroupCols {
+			gset[g] = true
+		}
+		p.push(in, reldb.EvUpdate, gset)
+	}
+}
+
+// fkParentSides reports whether the left/right input of an equi-join is the
+// "parent" side of a declared foreign key covering exactly the join's
+// column pairs. When child.fk REFERENCES parent.pk holds, inserting or
+// deleting a parent row cannot create or remove join matches (children
+// referencing it cannot exist at that moment), so those events are pruned.
+func (p *pusher) fkParentSides(o *xqgm.Operator) (left, right bool) {
+	if len(o.On) == 0 || o.JoinPred != nil {
+		return false, false
+	}
+	lTab, lCols := baseCols(o.Inputs[0], onSide(o, 0))
+	rTab, rCols := baseCols(o.Inputs[1], onSide(o, 1))
+	if lTab == "" || rTab == "" {
+		return false, false
+	}
+	left = p.isFKTarget(rTab, rCols, lTab, lCols)
+	right = p.isFKTarget(lTab, lCols, rTab, rCols)
+	return left, right
+}
+
+// onSide collects the join columns on the given input (0 = left, 1 =
+// right), in On order, expressed in that input's column positions.
+func onSide(o *xqgm.Operator, side int) []int {
+	out := make([]int, len(o.On))
+	for i, eq := range o.On {
+		if side == 0 {
+			out[i] = eq.L
+		} else {
+			out[i] = eq.R
+		}
+	}
+	return out
+}
+
+// baseCols resolves the given output columns of op to (table, base column
+// names) when op is a base-table access path (Table, possibly under Select
+// or a column-preserving Project). Empty table name means unresolvable.
+func baseCols(op *xqgm.Operator, cols []int) (string, []string) {
+	if cols == nil {
+		return "", nil
+	}
+	switch op.Type {
+	case xqgm.OpTable:
+		if op.Source != xqgm.SrcBase && op.Source != xqgm.SrcOld {
+			return "", nil
+		}
+		names := make([]string, len(cols))
+		for i, c := range cols {
+			if c < 0 || c >= len(op.Names) {
+				return "", nil
+			}
+			names[i] = op.Names[c]
+		}
+		return op.Table, names
+	case xqgm.OpSelect, xqgm.OpOrderBy:
+		return baseCols(op.Inputs[0], cols)
+	case xqgm.OpProject:
+		in := make([]int, len(cols))
+		for i, c := range cols {
+			if c < 0 || c >= len(op.Projs) {
+				return "", nil
+			}
+			cr, ok := op.Projs[c].E.(*xqgm.ColRef)
+			if !ok || cr.Input != 0 {
+				return "", nil
+			}
+			in[i] = cr.Col
+		}
+		return baseCols(op.Inputs[0], in)
+	default:
+		return "", nil
+	}
+}
+
+// isFKTarget reports whether childTable.childCols is a declared foreign key
+// referencing parentTable.parentCols (order-sensitive pairing).
+func (p *pusher) isFKTarget(childTable string, childCols []string, parentTable string, parentCols []string) bool {
+	ct, ok := p.schema.Table(childTable)
+	if !ok || len(childCols) == 0 || len(childCols) != len(parentCols) {
+		return false
+	}
+	for _, fk := range ct.ForeignKeys {
+		if fk.RefTable != parentTable || len(fk.Columns) != len(childCols) {
+			continue
+		}
+		match := true
+		for i := range childCols {
+			if fk.Columns[i] != childCols[i] || fk.RefColumns[i] != parentCols[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,235 @@
+package events
+
+import (
+	"fmt"
+	"testing"
+
+	"quark/internal/fixtures"
+	"quark/internal/reldb"
+	"quark/internal/schema"
+	"quark/internal/xdm"
+	"quark/internal/xqgm"
+)
+
+func asSet(tes []TableEvent) map[string]bool {
+	out := map[string]bool{}
+	for _, te := range tes {
+		out[te.String()] = true
+	}
+	return out
+}
+
+// TestPaperEventPushdown checks the paper's Section 3.3 claim: "UPDATE on
+// the result of Box 7 ... can be caused either by an UPDATE on the product
+// table, or by an INSERT, UPDATE or DELETE on the vendor table."
+func TestPaperEventPushdown(t *testing.T) {
+	s := schema.ProductVendor()
+	v := fixtures.BuildCatalogView(s, 2)
+	got := asSet(GetSrcEvents(s, v.ProductProj, reldb.EvUpdate))
+	want := map[string]bool{
+		"UPDATE ON product": true,
+		"INSERT ON vendor":  true,
+		"UPDATE ON vendor":  true,
+		"DELETE ON vendor":  true,
+	}
+	if len(got) != len(want) {
+		t.Errorf("events = %v, want %v", got, want)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing event %s (got %v)", k, got)
+		}
+	}
+	// In particular, INSERT/DELETE on product must be pruned by the FK
+	// refinement: a new product cannot match existing vendors.
+	if got["INSERT ON product"] || got["DELETE ON product"] {
+		t.Errorf("FK refinement failed: %v", got)
+	}
+}
+
+// TestInsertDeleteEventPushdown: XML INSERT/DELETE on the product path can
+// be caused by vendor changes (count crossings) and product renames, but
+// not by product INSERT/DELETE (FK refinement).
+func TestInsertDeleteEventPushdown(t *testing.T) {
+	s := schema.ProductVendor()
+	for _, ev := range []reldb.Event{reldb.EvInsert, reldb.EvDelete} {
+		v := fixtures.BuildCatalogView(s, 2)
+		got := asSet(GetSrcEvents(s, v.ProductProj, ev))
+		for _, want := range []string{"UPDATE ON product", "INSERT ON vendor", "UPDATE ON vendor", "DELETE ON vendor"} {
+			if !got[want] {
+				t.Errorf("%v: missing %s (got %v)", ev, want, got)
+			}
+		}
+		if got["INSERT ON product"] || got["DELETE ON product"] {
+			t.Errorf("%v: product INSERT/DELETE not pruned: %v", ev, got)
+		}
+	}
+}
+
+// TestWithoutFKRefinement: dropping the foreign key declaration makes the
+// pushdown conservative (product INSERT/DELETE reappear).
+func TestWithoutFKRefinement(t *testing.T) {
+	s := schema.New()
+	s.MustAddTable(&schema.Table{
+		Name: "product",
+		Columns: []schema.Column{
+			{Name: "pid", Type: schema.TString},
+			{Name: "pname", Type: schema.TString},
+			{Name: "mfr", Type: schema.TString},
+		},
+		PrimaryKey: []string{"pid"},
+	})
+	s.MustAddTable(&schema.Table{
+		Name: "vendor",
+		Columns: []schema.Column{
+			{Name: "vid", Type: schema.TString},
+			{Name: "pid", Type: schema.TString},
+			{Name: "price", Type: schema.TFloat},
+		},
+		PrimaryKey: []string{"vid", "pid"},
+		// no foreign key
+	})
+	v := fixtures.BuildCatalogView(s, 2)
+	got := asSet(GetSrcEvents(s, v.ProductProj, reldb.EvUpdate))
+	if !got["INSERT ON product"] || !got["DELETE ON product"] {
+		t.Errorf("without FK, product INSERT/DELETE should be included: %v", got)
+	}
+}
+
+// TestSelectOnlyUpdates: a flat selection view maps UPDATE to UPDATE only.
+func TestSelectOnlyUpdates(t *testing.T) {
+	s := schema.ProductVendor()
+	pdef, _ := s.Table("product")
+	p := xqgm.NewTable(pdef, xqgm.SrcBase)
+	sel := xqgm.NewSelect(p, &xqgm.Cmp{Op: "=", L: xqgm.Col(2), R: xqgm.LitOf(xdm.Str("Samsung"))})
+	got := asSet(GetSrcEvents(s, sel, reldb.EvUpdate))
+	if len(got) != 1 || !got["UPDATE ON product"] {
+		t.Errorf("got %v, want only UPDATE ON product", got)
+	}
+	// INSERT on the selection ← INSERT on the table or UPDATE flipping the
+	// predicate.
+	got = asSet(GetSrcEvents(s, sel, reldb.EvInsert))
+	if !got["INSERT ON product"] || !got["UPDATE ON product"] {
+		t.Errorf("INSERT pushdown through Select: %v", got)
+	}
+	if got["DELETE ON product"] {
+		t.Errorf("DELETE should not cause INSERT on a selection: %v", got)
+	}
+}
+
+// TestProjectColumnSensitivity: updates to columns not used by the
+// projection do not fire.
+func TestProjectColumnSensitivity(t *testing.T) {
+	s := schema.ProductVendor()
+	vdef, _ := s.Table("vendor")
+	vt := xqgm.NewTable(vdef, xqgm.SrcBase)
+	proj := xqgm.NewProject(vt,
+		xqgm.Proj{Name: "vid", E: xqgm.Col(0)},
+		xqgm.Proj{Name: "pid", E: xqgm.Col(1)},
+	)
+	// UPDATE on the projection can only come from vendor updates; there is
+	// no way to express column-level triggers in reldb, so the table-event
+	// granularity is (vendor, UPDATE).
+	got := asSet(GetSrcEvents(s, proj, reldb.EvUpdate))
+	if len(got) != 1 || !got["UPDATE ON vendor"] {
+		t.Errorf("got %v", got)
+	}
+}
+
+// TestGroupByEventRules: aggregate outputs make INSERT/DELETE on the input
+// relevant for UPDATE events; grouping-only outputs do not.
+func TestGroupByEventRules(t *testing.T) {
+	s := schema.ProductVendor()
+	vdef, _ := s.Table("vendor")
+	vt := xqgm.NewTable(vdef, xqgm.SrcBase)
+	g := xqgm.NewGroupBy(vt, []int{1}, xqgm.Agg{Name: "n", Func: xqgm.AggCount})
+	got := asSet(GetSrcEvents(s, g, reldb.EvUpdate))
+	for _, want := range []string{"INSERT ON vendor", "DELETE ON vendor", "UPDATE ON vendor"} {
+		if !got[want] {
+			t.Errorf("groupby UPDATE: missing %s in %v", want, got)
+		}
+	}
+	// Projecting ONLY the group column: C ⊆ G, so INSERT/DELETE are not
+	// relevant for UPDATE events (Table 4 "unless C ⊆ G").
+	proj := xqgm.NewProject(g, xqgm.Proj{Name: "pid", E: xqgm.Col(0)})
+	got = asSet(GetSrcEvents(s, proj, reldb.EvUpdate))
+	if got["INSERT ON vendor"] || got["DELETE ON vendor"] {
+		t.Errorf("C⊆G case should not include INSERT/DELETE: %v", got)
+	}
+	if !got["UPDATE ON vendor"] {
+		t.Errorf("C⊆G case should still include UPDATE: %v", got)
+	}
+}
+
+// TestUnionEvents: events propagate into all branches.
+func TestUnionEvents(t *testing.T) {
+	s := schema.ProductVendor()
+	pdef, _ := s.Table("product")
+	p := xqgm.NewTable(pdef, xqgm.SrcBase)
+	a := xqgm.NewSelect(p, &xqgm.Cmp{Op: "=", L: xqgm.Col(2), R: xqgm.LitOf(xdm.Str("Samsung"))})
+	b := xqgm.NewSelect(p, &xqgm.Cmp{Op: "=", L: xqgm.Col(1), R: xqgm.LitOf(xdm.Str("CRT 15"))})
+	u := xqgm.NewUnion(true, a, b)
+	got := asSet(GetSrcEvents(s, u, reldb.EvDelete))
+	if !got["DELETE ON product"] || !got["UPDATE ON product"] {
+		t.Errorf("union DELETE pushdown: %v", got)
+	}
+}
+
+// TestEventOrderingDeterministic: output is sorted.
+func TestEventOrderingDeterministic(t *testing.T) {
+	s := schema.ProductVendor()
+	v := fixtures.BuildCatalogView(s, 2)
+	a := GetSrcEvents(s, v.ProductProj, reldb.EvUpdate)
+	b := GetSrcEvents(s, fixtures.BuildCatalogView(s, 2).ProductProj, reldb.EvUpdate)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Table > a[i].Table {
+			t.Errorf("not sorted: %v", a)
+		}
+	}
+}
+
+// TestEventsMatchRuntime cross-checks the pushdown against reality: for
+// every (table, event) NOT in the pushdown set, random statements of that
+// kind must never change the view.
+func TestEventsMatchRuntime(t *testing.T) {
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Schema()
+	v := fixtures.BuildCatalogView(s, 2)
+	relevant := asSet(GetSrcEvents(s, v.ProductProj, reldb.EvUpdate))
+	// Also collect INSERT/DELETE XML events - the union of all three XML
+	// events covers any view change.
+	for _, ev := range []reldb.Event{reldb.EvInsert, reldb.EvDelete} {
+		for k := range asSet(GetSrcEvents(s, fixtures.BuildCatalogView(s, 2).ProductProj, ev)) {
+			relevant[k] = true
+		}
+	}
+	snapshot := func() string {
+		ctx := xqgm.NewEvalContext(db, nil)
+		rows, err := ctx.Eval(fixtures.BuildCatalogView(s, 2).Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows[0][0].AsNode().Serialize(false)
+	}
+	// product INSERT must be irrelevant (FK refinement) — verify: inserting
+	// products never changes the view.
+	if relevant["INSERT ON product"] {
+		t.Skip("pushdown already includes product INSERT; nothing to verify")
+	}
+	before := snapshot()
+	if err := db.Insert("product", reldb.Row{xdm.Str("P7"), xdm.Str("CRT 15"), xdm.Str("NewCo")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("product", reldb.Row{xdm.Str("P8"), xdm.Str("Fresh"), xdm.Str("NewCo")}); err != nil {
+		t.Fatal(err)
+	}
+	if after := snapshot(); after != before {
+		t.Error("product INSERT changed the view despite being pruned from pushdown")
+	}
+}

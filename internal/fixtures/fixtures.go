@@ -1,0 +1,153 @@
+// Package fixtures builds the paper's running example (Figures 2-5): the
+// product/vendor schema, its data, and the catalog view XQGM graph, for use
+// by tests and examples across packages.
+package fixtures
+
+import (
+	"quark/internal/reldb"
+	"quark/internal/schema"
+	"quark/internal/xdm"
+	"quark/internal/xqgm"
+)
+
+// Column positions in the catalog-view top operator's output.
+const (
+	CatalogNodeCol = 0 // the <catalog> element
+)
+
+// OpenPaperDB creates the product/vendor database loaded with the Figure 2
+// rows.
+func OpenPaperDB() (*reldb.DB, error) {
+	db, err := reldb.Open(schema.ProductVendor())
+	if err != nil {
+		return nil, err
+	}
+	if err := LoadPaperData(db); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// LoadPaperData inserts the Figure 2 rows into db.
+func LoadPaperData(db *reldb.DB) error {
+	if err := db.Insert("product",
+		reldb.Row{xdm.Str("P1"), xdm.Str("CRT 15"), xdm.Str("Samsung")},
+		reldb.Row{xdm.Str("P2"), xdm.Str("LCD 19"), xdm.Str("Samsung")},
+		reldb.Row{xdm.Str("P3"), xdm.Str("CRT 15"), xdm.Str("Viewsonic")},
+	); err != nil {
+		return err
+	}
+	return db.Insert("vendor",
+		reldb.Row{xdm.Str("Amazon"), xdm.Str("P1"), xdm.Float(100)},
+		reldb.Row{xdm.Str("Bestbuy"), xdm.Str("P1"), xdm.Float(120)},
+		reldb.Row{xdm.Str("Circuitcity"), xdm.Str("P1"), xdm.Float(150)},
+		reldb.Row{xdm.Str("Buy.com"), xdm.Str("P2"), xdm.Float(200)},
+		reldb.Row{xdm.Str("Bestbuy"), xdm.Str("P2"), xdm.Float(180)},
+		reldb.Row{xdm.Str("Bestbuy"), xdm.Str("P3"), xdm.Float(120)},
+		reldb.Row{xdm.Str("Circuitcity"), xdm.Str("P3"), xdm.Float(140)},
+	)
+}
+
+// CatalogView holds the XQGM graph of the paper's catalog view (Figure 5)
+// together with the positions of interesting operators and columns.
+type CatalogView struct {
+	Root *xqgm.Operator // box 9: Project(<catalog>...)
+
+	// Box references, numbered as in Figure 5.
+	ProductTable *xqgm.Operator // box 1
+	VendorTable  *xqgm.Operator // box 2
+	PVJoin       *xqgm.Operator // box 3
+	VendorProj   *xqgm.Operator // box 4
+	NameGroup    *xqgm.Operator // box 5
+	CountSelect  *xqgm.Operator // box 6
+	ProductProj  *xqgm.Operator // box 7 (the trigger Path graph top, Fig 5A)
+	CatalogGroup *xqgm.Operator // box 8
+
+	// Column positions in ProductProj's output.
+	ProdNodeCol  int // the <product> element
+	ProdNameCol  int // $pname (canonical key of box 7)
+	ProdCountCol int // the vendor count (for condition pushdown tests)
+}
+
+// BuildCatalogView constructs the Figure 5 graph over the given schema
+// (which must be the ProductVendor schema). MinVendors is the selection
+// constant of box 6 (2 in the paper).
+func BuildCatalogView(s *schema.Schema, minVendors int64) *CatalogView {
+	prodDef, _ := s.Table("product")
+	vendDef, _ := s.Table("vendor")
+
+	// Box 1, 2.
+	prod := xqgm.NewTable(prodDef, xqgm.SrcBase) // pid(0), pname(1), mfr(2)
+	vend := xqgm.NewTable(vendDef, xqgm.SrcBase) // vid(0), pid(1), price(2)
+
+	// Box 3: join on product.pid = vendor.pid.
+	// Output: pid(0), pname(1), mfr(2), vid(3), v.pid(4), price(5).
+	join := xqgm.NewJoin(xqgm.JoinInner, prod, vend, []xqgm.JoinEq{{L: 0, R: 1}}, nil)
+
+	// Box 4: construct <vendor> elements; carry keys (p.pid, vid, v.pid)
+	// and the grouping column pname.
+	// Children in default-view column order (vid, pid, price), matching the
+	// $vendor/* expansion of Figure 3.
+	vendorElem := &xqgm.ElemCtor{
+		Name: "vendor",
+		Children: []xqgm.Expr{
+			&xqgm.ElemCtor{Name: "vid", Children: []xqgm.Expr{xqgm.Col(3)}},
+			&xqgm.ElemCtor{Name: "pid", Children: []xqgm.Expr{xqgm.Col(4)}},
+			&xqgm.ElemCtor{Name: "price", Children: []xqgm.Expr{xqgm.Col(5)}},
+		},
+	}
+	vproj := xqgm.NewProject(join,
+		xqgm.Proj{Name: "ppid", E: xqgm.Col(0)},
+		xqgm.Proj{Name: "vid", E: xqgm.Col(3)},
+		xqgm.Proj{Name: "vpid", E: xqgm.Col(4)},
+		xqgm.Proj{Name: "pname", E: xqgm.Col(1)},
+		xqgm.Proj{Name: "vendorElem", E: vendorElem},
+	)
+
+	// Box 5: group by pname; aggXMLFrag(vendorElem) and count(*).
+	group := xqgm.NewGroupBy(vproj, []int{3},
+		xqgm.Agg{Name: "vendors", Func: xqgm.AggXMLFrag, Arg: xqgm.Col(4)},
+		xqgm.Agg{Name: "cnt", Func: xqgm.AggCount},
+	)
+
+	// Box 6: count >= minVendors.
+	sel := xqgm.NewSelect(group, &xqgm.Cmp{Op: ">=", L: xqgm.Col(2), R: xqgm.LitOf(xdm.Int(minVendors))})
+
+	// Box 7: construct <product name=...>{vendors}</product>; carry pname
+	// (the canonical key) and cnt (used by condition tests).
+	prodElem := &xqgm.ElemCtor{
+		Name:     "product",
+		Attrs:    []xqgm.AttrSpec{{Name: "name", E: xqgm.Col(0)}},
+		Children: []xqgm.Expr{xqgm.Col(1)},
+	}
+	pproj := xqgm.NewProject(sel,
+		xqgm.Proj{Name: "product", E: prodElem},
+		xqgm.Proj{Name: "pname", E: xqgm.Col(0)},
+		xqgm.Proj{Name: "cnt", E: xqgm.Col(2)},
+	)
+
+	// Box 8: global aggXMLFrag over products.
+	cgroup := xqgm.NewGroupBy(pproj, nil,
+		xqgm.Agg{Name: "products", Func: xqgm.AggXMLFrag, Arg: xqgm.Col(0)},
+	)
+
+	// Box 9: the <catalog> wrapper.
+	catalogElem := &xqgm.ElemCtor{Name: "catalog", Children: []xqgm.Expr{xqgm.Col(0)}}
+	root := xqgm.NewProject(cgroup, xqgm.Proj{Name: "catalog", E: catalogElem})
+
+	xqgm.DeriveKeys(root)
+	return &CatalogView{
+		Root:         root,
+		ProductTable: prod,
+		VendorTable:  vend,
+		PVJoin:       join,
+		VendorProj:   vproj,
+		NameGroup:    group,
+		CountSelect:  sel,
+		ProductProj:  pproj,
+		CatalogGroup: cgroup,
+		ProdNodeCol:  0,
+		ProdNameCol:  1,
+		ProdCountCol: 2,
+	}
+}

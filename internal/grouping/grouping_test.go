@@ -1,0 +1,146 @@
+package grouping
+
+import (
+	"strings"
+	"testing"
+
+	"quark/internal/xdm"
+	"quark/internal/xqgm"
+)
+
+func TestConstRefMustBeBound(t *testing.T) {
+	cr := &ConstRef{Idx: 0}
+	if _, err := cr.Eval(&xqgm.Env{}); err == nil {
+		t.Error("unbound ConstRef must error")
+	}
+	if cr.String() != "?0" {
+		t.Errorf("String = %q", cr.String())
+	}
+}
+
+func TestBind(t *testing.T) {
+	tmpl := &xqgm.Cmp{Op: "=", L: xqgm.Col(3), R: &ConstRef{Idx: 0}}
+	bound := Bind(tmpl, []xdm.Value{xdm.Str("CRT 15")})
+	v, err := bound.Eval(&xqgm.Env{In: [2][]xdm.Value{{xdm.Null, xdm.Null, xdm.Null, xdm.Str("CRT 15")}, nil}})
+	if err != nil || !v.AsBool() {
+		t.Errorf("bound template eval = %v, %v", v, err)
+	}
+	// Out-of-range consts are left unbound (error at eval).
+	ub := Bind(tmpl, nil)
+	if _, err := ub.Eval(&xqgm.Env{In: [2][]xdm.Value{{xdm.Null, xdm.Null, xdm.Null, xdm.Str("x")}, nil}}); err == nil {
+		t.Error("unbindable template should error at eval")
+	}
+}
+
+func TestGroupMembership(t *testing.T) {
+	tmpl := &xqgm.Cmp{Op: "=", L: xqgm.Col(0), R: &ConstRef{Idx: 0}}
+	g := NewGroup("sig", tmpl, 1)
+	if err := g.Add("t1", []xdm.Value{xdm.Str("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("t2", []xdm.Value{xdm.Str("a"), xdm.Str("b")}); err == nil {
+		t.Error("wrong constant arity accepted")
+	}
+	if err := g.Add("t3", []xdm.Value{xdm.Str("b")}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2 || g.Signature() != "sig" {
+		t.Errorf("size=%d sig=%q", g.Size(), g.Signature())
+	}
+	if !g.Remove("t1") || g.Remove("t1") {
+		t.Error("Remove semantics")
+	}
+	if g.Size() != 1 {
+		t.Errorf("size after remove = %d", g.Size())
+	}
+}
+
+// TestConstantsTable: distinct constant combinations share one row with
+// merged TrigIDs (the Section 5.1 constants table).
+func TestConstantsTable(t *testing.T) {
+	tmpl := &xqgm.Cmp{Op: "=", L: xqgm.Col(0), R: &ConstRef{Idx: 0}}
+	g := NewGroup("sig", tmpl, 1)
+	for _, m := range []struct{ id, c string }{
+		{"1", "CRT 15"}, {"2", "CRT 15"}, {"3", "LCD 19"},
+	} {
+		if err := g.Add(m.id, []xdm.Value{xdm.Str(m.c)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ct := g.ConstantsTable()
+	if ct.Type != xqgm.OpConstants || len(ct.ConstRows) != 2 {
+		t.Fatalf("constants rows = %d, want 2 (merged combos)", len(ct.ConstRows))
+	}
+	ctx := xqgm.NewEvalContext(nil, nil)
+	rows, err := ctx.Eval(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]string{}
+	for _, r := range rows {
+		found[r[1].AsString()] = r[0].AsString()
+	}
+	if found["CRT 15"] != "1,2" || found["LCD 19"] != "3" {
+		t.Errorf("TrigIDs = %v (want CRT 15 -> \"1,2\")", found)
+	}
+	ids := SplitTriggerIDs(xdm.Str("1,2"))
+	if len(ids) != 2 || ids[0] != "1" || ids[1] != "2" {
+		t.Errorf("SplitTriggerIDs = %v", ids)
+	}
+	if SplitTriggerIDs(xdm.Str("")) != nil {
+		t.Error("empty TrigIDs should split to nil")
+	}
+}
+
+// TestBuildGroupedPlan: equality conditions become join pairs; the rest
+// stays residual (decorrelated Figure 14/15 form).
+func TestBuildGroupedPlan(t *testing.T) {
+	// Condition: col0 = ?0 and col1 < ?1.
+	tmpl := &xqgm.Logic{Op: "and", Args: []xqgm.Expr{
+		&xqgm.Cmp{Op: "=", L: xqgm.Col(0), R: &ConstRef{Idx: 0}},
+		&xqgm.Cmp{Op: "<", L: xqgm.Col(1), R: &ConstRef{Idx: 1}},
+	}}
+	g := NewGroup("sig", tmpl, 2)
+	_ = g.Add("a", []xdm.Value{xdm.Str("x"), xdm.Int(10)})
+	_ = g.Add("b", []xdm.Value{xdm.Str("y"), xdm.Int(5)})
+
+	// A little "affected nodes" relation: (name, value).
+	an := xqgm.NewConstants([]string{"name", "value"}, [][]xqgm.Expr{
+		{xqgm.LitOf(xdm.Str("x")), xqgm.LitOf(xdm.Int(7))},
+		{xqgm.LitOf(xdm.Str("y")), xqgm.LitOf(xdm.Int(7))},
+		{xqgm.LitOf(xdm.Str("z")), xqgm.LitOf(xdm.Int(1))},
+	})
+	plan := BuildGroupedPlan(g, an)
+	if plan.TrigIDsCol != 2 || plan.ConstBase != 3 {
+		t.Errorf("layout: TrigIDs=%d ConstBase=%d", plan.TrigIDsCol, plan.ConstBase)
+	}
+	ctx := xqgm.NewEvalContext(nil, nil)
+	rows, err := ctx.Eval(plan.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x matches trigger a only (7 < 10); y does not match b (7 >= 5);
+	// z matches nothing.
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1: %v", len(rows), rows)
+	}
+	if rows[0][0].AsString() != "x" || rows[0][plan.TrigIDsCol].AsString() != "a" {
+		t.Errorf("row = %v", rows[0])
+	}
+	// The join found at the plan root carries one equi pair and a residual.
+	join := plan.Root
+	if join.Type != xqgm.OpJoin || len(join.On) != 1 || join.JoinPred == nil {
+		t.Errorf("plan shape: %s", join)
+	}
+}
+
+func TestSignature(t *testing.T) {
+	tmpl := &xqgm.Cmp{Op: "=", L: xqgm.Col(0), R: &ConstRef{Idx: 0}}
+	s := Signature(tmpl)
+	if !strings.Contains(s, "?0") {
+		t.Errorf("signature %q should show placeholders", s)
+	}
+	if Signature(nil) != "<nil>" {
+		t.Error("nil signature")
+	}
+}

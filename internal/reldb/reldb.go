@@ -1,0 +1,659 @@
+// Package reldb is the relational substrate: an in-memory storage engine
+// with primary keys, hash indexes, statement-level INSERT/UPDATE/DELETE,
+// and statement-level AFTER triggers with transition tables. It plays the
+// role IBM DB2 plays in the paper: the generated "SQL triggers" produced by
+// the translation pipeline are installed here and fire with Δtable /
+// ∇table transition tables exactly as described in Section 2.3.
+//
+// A DB is not safe for concurrent use; the engine layer (internal/core)
+// serializes statements.
+package reldb
+
+import (
+	"fmt"
+
+	"quark/internal/schema"
+	"quark/internal/xdm"
+)
+
+// Row is one relational tuple, positionally aligned with the table's
+// columns.
+type Row []xdm.Value
+
+// Copy returns a copy of the row (values are immutable, so a shallow copy
+// of the slice suffices).
+func (r Row) Copy() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Event is the statement kind a SQL trigger listens for.
+type Event uint8
+
+// Statement events.
+const (
+	EvInsert Event = iota
+	EvUpdate
+	EvDelete
+)
+
+func (e Event) String() string {
+	switch e {
+	case EvInsert:
+		return "INSERT"
+	case EvUpdate:
+		return "UPDATE"
+	case EvDelete:
+		return "DELETE"
+	default:
+		return fmt.Sprintf("EVENT(%d)", uint8(e))
+	}
+}
+
+// FireContext is handed to a trigger body when its statement completes. The
+// transition tables follow the paper's notation: Inserted is Δtable (rows
+// after the statement), Deleted is ∇table (rows before). For INSERT
+// statements Deleted is empty; for DELETE, Inserted is empty; UPDATE
+// populates both, index-aligned (Deleted[i] is the old version of
+// Inserted[i]).
+type FireContext struct {
+	DB       *DB
+	Table    string
+	Event    Event
+	Inserted []Row
+	Deleted  []Row
+	Depth    int // trigger cascade depth (1 for directly fired triggers)
+}
+
+// SQLTrigger is a statement-level AFTER trigger. Body is the compiled
+// trigger action; SQL carries the rendered SQL text for display and tests.
+type SQLTrigger struct {
+	Name  string
+	Table string
+	Event Event
+	SQL   string
+	Body  func(*FireContext) error
+}
+
+// Stats counts engine work, used by benchmarks and by tests that assert
+// index access paths are taken.
+type Stats struct {
+	Statements   int64
+	TriggerFires int64
+	FullScans    int64
+	IndexLookups int64
+	RowsRead     int64
+}
+
+// maxTriggerDepth bounds trigger cascades, mirroring DB2's limit of 16.
+const maxTriggerDepth = 16
+
+type index struct {
+	col int
+	m   map[string]map[string]struct{} // value key -> set of row pk keys
+}
+
+type tableData struct {
+	def     *schema.Table
+	pkIdx   []int
+	rows    map[string]Row
+	indexes map[string]*index // column name -> secondary index
+	autoID  int64             // synthetic rowid for tables without PK
+}
+
+// DB is an in-memory relational database instance over a fixed schema.
+type DB struct {
+	schema     *schema.Schema
+	tables     map[string]*tableData
+	triggers   []*SQLTrigger
+	byName     map[string]*SQLTrigger
+	enforceFKs bool
+	stats      Stats
+	fireDepth  int
+}
+
+// Open creates an empty database for the schema. Primary-key columns of
+// every table are indexed automatically (leading column).
+func Open(s *schema.Schema) (*DB, error) {
+	db := &DB{
+		schema: s,
+		tables: map[string]*tableData{},
+		byName: map[string]*SQLTrigger{},
+	}
+	for _, t := range s.Tables() {
+		td := &tableData{
+			def:     t,
+			pkIdx:   t.PKIndexes(),
+			rows:    map[string]Row{},
+			indexes: map[string]*index{},
+		}
+		db.tables[t.Name] = td
+	}
+	for _, t := range s.Tables() {
+		for _, k := range t.PrimaryKey {
+			if err := db.CreateIndex(t.Name, k); err != nil {
+				return nil, err
+			}
+		}
+		for _, fk := range t.ForeignKeys {
+			for _, c := range fk.Columns {
+				if err := db.CreateIndex(t.Name, c); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return db, nil
+}
+
+// Schema returns the database schema.
+func (db *DB) Schema() *schema.Schema { return db.schema }
+
+// SetEnforceFKs toggles foreign-key enforcement on writes.
+func (db *DB) SetEnforceFKs(on bool) { db.enforceFKs = on }
+
+// Stats returns a copy of the engine counters.
+func (db *DB) Stats() Stats { return db.stats }
+
+// ResetStats zeroes the engine counters.
+func (db *DB) ResetStats() { db.stats = Stats{} }
+
+func (db *DB) table(name string) (*tableData, error) {
+	td, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("reldb: unknown table %q", name)
+	}
+	return td, nil
+}
+
+func (td *tableData) pkKey(r Row) string {
+	if len(td.pkIdx) == 0 {
+		// Tables without a primary key get synthetic identity; callers use
+		// insertKey to allocate one.
+		return ""
+	}
+	ks := make([]xdm.Value, len(td.pkIdx))
+	for i, c := range td.pkIdx {
+		ks[i] = r[c]
+	}
+	return xdm.TupleKey(ks)
+}
+
+func (db *DB) validateRow(td *tableData, r Row) error {
+	if len(r) != len(td.def.Columns) {
+		return fmt.Errorf("reldb: table %s expects %d columns, got %d", td.def.Name, len(td.def.Columns), len(r))
+	}
+	for i, c := range td.def.Columns {
+		if !c.Type.Accepts(r[i]) {
+			return fmt.Errorf("reldb: table %s column %s (%s) rejects value %s", td.def.Name, c.Name, c.Type, r[i])
+		}
+	}
+	for _, c := range td.pkIdx {
+		if r[c].IsNull() {
+			return fmt.Errorf("reldb: table %s primary key column %s is NULL", td.def.Name, td.def.Columns[c].Name)
+		}
+	}
+	if db.enforceFKs {
+		for _, fk := range td.def.ForeignKeys {
+			if err := db.checkFK(td, fk, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (db *DB) checkFK(td *tableData, fk schema.ForeignKey, r Row) error {
+	ref, err := db.table(fk.RefTable)
+	if err != nil {
+		return err
+	}
+	// NULL foreign keys are vacuously satisfied.
+	vals := make([]xdm.Value, len(fk.Columns))
+	for i, c := range fk.Columns {
+		ci := td.def.ColIndex(c)
+		if r[ci].IsNull() {
+			return nil
+		}
+		vals[i] = r[ci]
+	}
+	found := false
+	// Fast path: referencing the full primary key.
+	if len(fk.RefColumns) == len(ref.def.PrimaryKey) {
+		same := true
+		for i, rc := range fk.RefColumns {
+			if ref.def.PrimaryKey[i] != rc {
+				same = false
+				break
+			}
+		}
+		if same {
+			_, found = ref.rows[xdm.TupleKey(vals)]
+		}
+		if found {
+			return nil
+		}
+	}
+	refIdx := make([]int, len(fk.RefColumns))
+	for i, rc := range fk.RefColumns {
+		refIdx[i] = ref.def.ColIndex(rc)
+	}
+	for _, row := range ref.rows {
+		match := true
+		for i, ri := range refIdx {
+			if !xdm.Equal(row[ri], vals[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("reldb: foreign key violation: %s(%v) has no parent in %s", td.def.Name, vals, fk.RefTable)
+	}
+	return nil
+}
+
+// CreateIndex builds a hash index on a single column; idempotent.
+func (db *DB) CreateIndex(table, col string) error {
+	td, err := db.table(table)
+	if err != nil {
+		return err
+	}
+	ci := td.def.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("reldb: table %s has no column %q", table, col)
+	}
+	if _, ok := td.indexes[col]; ok {
+		return nil
+	}
+	ix := &index{col: ci, m: map[string]map[string]struct{}{}}
+	for pk, r := range td.rows {
+		ix.add(r[ci], pk)
+	}
+	td.indexes[col] = ix
+	return nil
+}
+
+// HasIndex reports whether a single-column index exists.
+func (db *DB) HasIndex(table, col string) bool {
+	td, err := db.table(table)
+	if err != nil {
+		return false
+	}
+	_, ok := td.indexes[col]
+	return ok
+}
+
+func (ix *index) add(v xdm.Value, pk string) {
+	k := v.Key()
+	s, ok := ix.m[k]
+	if !ok {
+		s = map[string]struct{}{}
+		ix.m[k] = s
+	}
+	s[pk] = struct{}{}
+}
+
+func (ix *index) remove(v xdm.Value, pk string) {
+	k := v.Key()
+	if s, ok := ix.m[k]; ok {
+		delete(s, pk)
+		if len(s) == 0 {
+			delete(ix.m, k)
+		}
+	}
+}
+
+func (td *tableData) indexAdd(r Row, pk string) {
+	for _, ix := range td.indexes {
+		ix.add(r[ix.col], pk)
+	}
+}
+
+func (td *tableData) indexRemove(r Row, pk string) {
+	for _, ix := range td.indexes {
+		ix.remove(r[ix.col], pk)
+	}
+}
+
+func (td *tableData) insertKey(r Row) string {
+	if len(td.pkIdx) > 0 {
+		return td.pkKey(r)
+	}
+	td.autoID++
+	return fmt.Sprintf("\x00rowid:%d", td.autoID)
+}
+
+// Insert adds rows to the table as one statement, then fires AFTER INSERT
+// triggers with Δtable = rows. The statement is all-or-nothing: primary-key
+// or type violations roll the whole statement back.
+func (db *DB) Insert(table string, rows ...Row) error {
+	td, err := db.table(table)
+	if err != nil {
+		return err
+	}
+	// Validate first (all-or-nothing).
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if err := db.validateRow(td, r); err != nil {
+			return err
+		}
+		if len(td.pkIdx) > 0 {
+			k := td.pkKey(r)
+			if _, dup := td.rows[k]; dup || seen[k] {
+				return fmt.Errorf("reldb: duplicate primary key in %s: %s", table, k)
+			}
+			seen[k] = true
+		}
+	}
+	inserted := make([]Row, 0, len(rows))
+	for _, r := range rows {
+		rc := r.Copy()
+		k := td.insertKey(rc)
+		td.rows[k] = rc
+		td.indexAdd(rc, k)
+		inserted = append(inserted, rc)
+	}
+	db.stats.Statements++
+	return db.fire(table, EvInsert, inserted, nil)
+}
+
+// Delete removes all rows matching pred as one statement and fires AFTER
+// DELETE triggers with ∇table = removed rows. Returns the removed count.
+func (db *DB) Delete(table string, pred func(Row) bool) (int, error) {
+	td, err := db.table(table)
+	if err != nil {
+		return 0, err
+	}
+	var keys []string
+	var removed []Row
+	for k, r := range td.rows {
+		if pred(r) {
+			keys = append(keys, k)
+			removed = append(removed, r)
+		}
+	}
+	for i, k := range keys {
+		td.indexRemove(removed[i], k)
+		delete(td.rows, k)
+	}
+	db.stats.Statements++
+	if len(removed) == 0 {
+		return 0, nil
+	}
+	return len(removed), db.fire(table, EvDelete, nil, removed)
+}
+
+// DeleteByPK removes the row with the given primary key, if present.
+func (db *DB) DeleteByPK(table string, key ...xdm.Value) (bool, error) {
+	td, err := db.table(table)
+	if err != nil {
+		return false, err
+	}
+	if len(td.pkIdx) == 0 {
+		return false, fmt.Errorf("reldb: table %s has no primary key", table)
+	}
+	k := xdm.TupleKey(key)
+	r, ok := td.rows[k]
+	if !ok {
+		db.stats.Statements++
+		return false, nil
+	}
+	td.indexRemove(r, k)
+	delete(td.rows, k)
+	db.stats.Statements++
+	return true, db.fire(table, EvDelete, nil, []Row{r})
+}
+
+// Update rewrites all rows matching pred via set, as one statement, then
+// fires AFTER UPDATE triggers with ∇table = old rows and Δtable = new rows.
+// set must return a full replacement row (it may mutate the copy it is
+// given). Primary-key changes are permitted if they do not collide.
+func (db *DB) Update(table string, pred func(Row) bool, set func(Row) Row) (int, error) {
+	td, err := db.table(table)
+	if err != nil {
+		return 0, err
+	}
+	type change struct {
+		oldKey string
+		oldRow Row
+		newRow Row
+	}
+	var changes []change
+	for k, r := range td.rows {
+		if pred(r) {
+			nr := set(r.Copy())
+			if err := db.validateRow(td, nr); err != nil {
+				return 0, err
+			}
+			changes = append(changes, change{oldKey: k, oldRow: r, newRow: nr})
+		}
+	}
+	// Check PK collisions after removal of the old keys.
+	if len(td.pkIdx) > 0 {
+		removed := map[string]bool{}
+		for _, c := range changes {
+			removed[c.oldKey] = true
+		}
+		added := map[string]bool{}
+		for _, c := range changes {
+			nk := td.pkKey(c.newRow)
+			if added[nk] {
+				return 0, fmt.Errorf("reldb: update produces duplicate primary key in %s", table)
+			}
+			if _, exists := td.rows[nk]; exists && !removed[nk] {
+				return 0, fmt.Errorf("reldb: update collides with existing primary key in %s", table)
+			}
+			added[nk] = true
+		}
+	}
+	var oldRows, newRows []Row
+	for _, c := range changes {
+		td.indexRemove(c.oldRow, c.oldKey)
+		delete(td.rows, c.oldKey)
+	}
+	for _, c := range changes {
+		nk := td.insertKey(c.newRow)
+		td.rows[nk] = c.newRow
+		td.indexAdd(c.newRow, nk)
+		oldRows = append(oldRows, c.oldRow)
+		newRows = append(newRows, c.newRow)
+	}
+	db.stats.Statements++
+	if len(changes) == 0 {
+		return 0, nil
+	}
+	return len(changes), db.fire(table, EvUpdate, newRows, oldRows)
+}
+
+// UpdateByPK rewrites the single row with the given primary key.
+func (db *DB) UpdateByPK(table string, key []xdm.Value, set func(Row) Row) (bool, error) {
+	td, err := db.table(table)
+	if err != nil {
+		return false, err
+	}
+	if len(td.pkIdx) == 0 {
+		return false, fmt.Errorf("reldb: table %s has no primary key", table)
+	}
+	k := xdm.TupleKey(key)
+	old, ok := td.rows[k]
+	if !ok {
+		db.stats.Statements++
+		return false, nil
+	}
+	nr := set(old.Copy())
+	if err := db.validateRow(td, nr); err != nil {
+		return false, err
+	}
+	nk := td.pkKey(nr)
+	if nk != k {
+		if _, exists := td.rows[nk]; exists {
+			return false, fmt.Errorf("reldb: update collides with existing primary key in %s", table)
+		}
+	}
+	td.indexRemove(old, k)
+	delete(td.rows, k)
+	td.rows[nk] = nr
+	td.indexAdd(nr, nk)
+	db.stats.Statements++
+	return true, db.fire(table, EvUpdate, []Row{nr}, []Row{old})
+}
+
+func (db *DB) fire(table string, ev Event, inserted, deleted []Row) error {
+	if db.fireDepth >= maxTriggerDepth {
+		return fmt.Errorf("reldb: trigger cascade exceeds depth %d on %s", maxTriggerDepth, table)
+	}
+	db.fireDepth++
+	defer func() { db.fireDepth-- }()
+	for _, tr := range db.triggers {
+		if tr.Table != table || tr.Event != ev {
+			continue
+		}
+		db.stats.TriggerFires++
+		ctx := &FireContext{
+			DB:       db,
+			Table:    table,
+			Event:    ev,
+			Inserted: inserted,
+			Deleted:  deleted,
+			Depth:    db.fireDepth,
+		}
+		if err := tr.Body(ctx); err != nil {
+			return fmt.Errorf("reldb: trigger %s: %w", tr.Name, err)
+		}
+	}
+	return nil
+}
+
+// CreateTrigger installs a statement-level AFTER trigger.
+func (db *DB) CreateTrigger(tr *SQLTrigger) error {
+	if tr.Name == "" {
+		return fmt.Errorf("reldb: trigger must have a name")
+	}
+	if _, dup := db.byName[tr.Name]; dup {
+		return fmt.Errorf("reldb: duplicate trigger %q", tr.Name)
+	}
+	if _, err := db.table(tr.Table); err != nil {
+		return err
+	}
+	if tr.Body == nil {
+		return fmt.Errorf("reldb: trigger %q has no body", tr.Name)
+	}
+	db.triggers = append(db.triggers, tr)
+	db.byName[tr.Name] = tr
+	return nil
+}
+
+// DropTrigger removes a trigger by name.
+func (db *DB) DropTrigger(name string) error {
+	if _, ok := db.byName[name]; !ok {
+		return fmt.Errorf("reldb: no trigger %q", name)
+	}
+	delete(db.byName, name)
+	for i, tr := range db.triggers {
+		if tr.Name == name {
+			db.triggers = append(db.triggers[:i], db.triggers[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Triggers returns installed triggers in creation order.
+func (db *DB) Triggers() []*SQLTrigger {
+	return append([]*SQLTrigger(nil), db.triggers...)
+}
+
+// TriggerCount reports the number of installed SQL triggers.
+func (db *DB) TriggerCount() int { return len(db.triggers) }
+
+// Scan iterates every row of the table; fn returns false to stop early.
+func (db *DB) Scan(table string, fn func(Row) bool) error {
+	td, err := db.table(table)
+	if err != nil {
+		return err
+	}
+	db.stats.FullScans++
+	for _, r := range td.rows {
+		db.stats.RowsRead++
+		if !fn(r) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Lookup iterates the rows whose col equals v, using the column's hash
+// index when present (falling back to a scan otherwise).
+func (db *DB) Lookup(table, col string, v xdm.Value, fn func(Row) bool) error {
+	td, err := db.table(table)
+	if err != nil {
+		return err
+	}
+	ix, ok := td.indexes[col]
+	if !ok {
+		ci := td.def.ColIndex(col)
+		if ci < 0 {
+			return fmt.Errorf("reldb: table %s has no column %q", table, col)
+		}
+		db.stats.FullScans++
+		for _, r := range td.rows {
+			db.stats.RowsRead++
+			if xdm.Equal(r[ci], v) {
+				if !fn(r) {
+					return nil
+				}
+			}
+		}
+		return nil
+	}
+	db.stats.IndexLookups++
+	for pk := range ix.m[v.Key()] {
+		db.stats.RowsRead++
+		if !fn(td.rows[pk]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// GetByPK returns the row with the given primary key.
+func (db *DB) GetByPK(table string, key ...xdm.Value) (Row, bool, error) {
+	td, err := db.table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(td.pkIdx) == 0 {
+		return nil, false, fmt.Errorf("reldb: table %s has no primary key", table)
+	}
+	r, ok := td.rows[xdm.TupleKey(key)]
+	return r, ok, nil
+}
+
+// RowCount reports the number of rows in the table (0 for unknown tables).
+func (db *DB) RowCount(table string) int {
+	td, ok := db.tables[table]
+	if !ok {
+		return 0
+	}
+	return len(td.rows)
+}
+
+// AllRows returns a copy of the table's rows in unspecified order; intended
+// for tests and diagnostics.
+func (db *DB) AllRows(table string) []Row {
+	td, ok := db.tables[table]
+	if !ok {
+		return nil
+	}
+	out := make([]Row, 0, len(td.rows))
+	for _, r := range td.rows {
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+// Package schema describes relational schemas: tables, typed columns,
+// primary keys, and foreign keys. The XML default view (paper Figure 2) and
+// the trigger-specifiability check (Theorem 1) are driven off this metadata.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"quark/internal/xdm"
+)
+
+// ColType is the declared type of a relational column.
+type ColType uint8
+
+// Supported column types.
+const (
+	TInt ColType = iota
+	TFloat
+	TString
+	TBool
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TInt:
+		return "INTEGER"
+	case TFloat:
+		return "DECIMAL"
+	case TString:
+		return "VARCHAR"
+	case TBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// Accepts reports whether v may be stored in a column of this type. Null is
+// accepted everywhere except primary-key columns (enforced by the engine).
+func (t ColType) Accepts(v xdm.Value) bool {
+	switch v.Kind() {
+	case xdm.KindNull:
+		return true
+	case xdm.KindInt:
+		return t == TInt || t == TFloat
+	case xdm.KindFloat:
+		return t == TFloat
+	case xdm.KindString:
+		return t == TString
+	case xdm.KindBool:
+		return t == TBool
+	default:
+		return false
+	}
+}
+
+// Column is one column of a table.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// ForeignKey declares that Columns of this table reference RefColumns of
+// RefTable.
+type ForeignKey struct {
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// Table describes one relational table.
+type Table struct {
+	Name        string
+	Columns     []Column
+	PrimaryKey  []string // column names; empty means no key (view then not trigger-specifiable)
+	ForeignKeys []ForeignKey
+}
+
+// ColIndex returns the index of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColNames returns the column names in declaration order.
+func (t *Table) ColNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// PKIndexes returns the column indexes of the primary key, in key order.
+func (t *Table) PKIndexes() []int {
+	out := make([]int, len(t.PrimaryKey))
+	for i, n := range t.PrimaryKey {
+		out[i] = t.ColIndex(n)
+	}
+	return out
+}
+
+// HasPrimaryKey reports whether the table declares a primary key.
+func (t *Table) HasPrimaryKey() bool { return len(t.PrimaryKey) > 0 }
+
+// Validate checks internal consistency of the table definition.
+func (t *Table) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("schema: table with empty name")
+	}
+	seen := map[string]bool{}
+	for _, c := range t.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("schema: table %s has an unnamed column", t.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("schema: table %s has duplicate column %s", t.Name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	for _, k := range t.PrimaryKey {
+		if !seen[k] {
+			return fmt.Errorf("schema: table %s primary key references unknown column %s", t.Name, k)
+		}
+	}
+	for _, fk := range t.ForeignKeys {
+		if len(fk.Columns) != len(fk.RefColumns) {
+			return fmt.Errorf("schema: table %s foreign key arity mismatch", t.Name)
+		}
+		for _, c := range fk.Columns {
+			if !seen[c] {
+				return fmt.Errorf("schema: table %s foreign key references unknown column %s", t.Name, c)
+			}
+		}
+	}
+	return nil
+}
+
+// Schema is a set of tables with stable declaration order.
+type Schema struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// New returns an empty schema.
+func New() *Schema {
+	return &Schema{tables: map[string]*Table{}}
+}
+
+// AddTable validates and registers a table definition.
+func (s *Schema) AddTable(t *Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, dup := s.tables[t.Name]; dup {
+		return fmt.Errorf("schema: duplicate table %s", t.Name)
+	}
+	for _, fk := range t.ForeignKeys {
+		ref, ok := s.tables[fk.RefTable]
+		if !ok && fk.RefTable != t.Name {
+			return fmt.Errorf("schema: table %s foreign key references unknown table %s", t.Name, fk.RefTable)
+		}
+		if ok {
+			for _, rc := range fk.RefColumns {
+				if ref.ColIndex(rc) < 0 {
+					return fmt.Errorf("schema: table %s foreign key references unknown column %s.%s", t.Name, fk.RefTable, rc)
+				}
+			}
+		}
+	}
+	s.tables[t.Name] = t
+	s.order = append(s.order, t.Name)
+	return nil
+}
+
+// MustAddTable is AddTable that panics on error; intended for fixtures.
+func (s *Schema) MustAddTable(t *Table) {
+	if err := s.AddTable(t); err != nil {
+		panic(err)
+	}
+}
+
+// Table looks up a table by name.
+func (s *Schema) Table(name string) (*Table, bool) {
+	t, ok := s.tables[name]
+	return t, ok
+}
+
+// Tables returns the tables in declaration order.
+func (s *Schema) Tables() []*Table {
+	out := make([]*Table, len(s.order))
+	for i, n := range s.order {
+		out[i] = s.tables[n]
+	}
+	return out
+}
+
+// TableNames returns the table names in declaration order.
+func (s *Schema) TableNames() []string {
+	return append([]string(nil), s.order...)
+}
+
+// String renders the schema as CREATE TABLE DDL for diagnostics.
+func (s *Schema) String() string {
+	var sb strings.Builder
+	for _, t := range s.Tables() {
+		sb.WriteString("CREATE TABLE ")
+		sb.WriteString(t.Name)
+		sb.WriteString(" (")
+		for i, c := range t.Columns {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(c.Name)
+			sb.WriteByte(' ')
+			sb.WriteString(c.Type.String())
+		}
+		if t.HasPrimaryKey() {
+			sb.WriteString(", PRIMARY KEY (")
+			sb.WriteString(strings.Join(t.PrimaryKey, ", "))
+			sb.WriteString(")")
+		}
+		for _, fk := range t.ForeignKeys {
+			sb.WriteString(", FOREIGN KEY (")
+			sb.WriteString(strings.Join(fk.Columns, ", "))
+			sb.WriteString(") REFERENCES ")
+			sb.WriteString(fk.RefTable)
+			sb.WriteString(" (")
+			sb.WriteString(strings.Join(fk.RefColumns, ", "))
+			sb.WriteString(")")
+		}
+		sb.WriteString(");\n")
+	}
+	return sb.String()
+}
+
+// ProductVendor returns the paper's running-example schema (Figure 2):
+// product(PID, pname, mfr) and vendor(VID, PID, price) with vendor.PID
+// referencing product.
+func ProductVendor() *Schema {
+	s := New()
+	s.MustAddTable(&Table{
+		Name: "product",
+		Columns: []Column{
+			{Name: "pid", Type: TString},
+			{Name: "pname", Type: TString},
+			{Name: "mfr", Type: TString},
+		},
+		PrimaryKey: []string{"pid"},
+	})
+	s.MustAddTable(&Table{
+		Name: "vendor",
+		Columns: []Column{
+			{Name: "vid", Type: TString},
+			{Name: "pid", Type: TString},
+			{Name: "price", Type: TFloat},
+		},
+		PrimaryKey: []string{"vid", "pid"},
+		ForeignKeys: []ForeignKey{
+			{Columns: []string{"pid"}, RefTable: "product", RefColumns: []string{"pid"}},
+		},
+	})
+	return s
+}

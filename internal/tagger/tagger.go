@@ -1,0 +1,154 @@
+// Package tagger implements the constant-space tagger of XPERANTO/Quark
+// (paper Section 3.2 and Figure 16 lines 61-71): it converts the rows of a
+// sorted outer union — one row per XML node, tagged with a level number and
+// padded with NULLs for the other levels' columns — into XML documents,
+// holding only the current path of open elements in memory.
+//
+// The trigger pipeline executes XQGM plans directly (construction functions
+// run in the evaluator), but the tagger demonstrates — and tests verify —
+// that the generated relational plans could equally ship flat rows to a
+// middleware tagger, as the paper's DB2-hosted system does.
+package tagger
+
+import (
+	"fmt"
+
+	"quark/internal/xdm"
+	"quark/internal/xqgm"
+)
+
+// AttrSpec maps an outer-union column to an attribute of the level element.
+type AttrSpec struct {
+	Name string
+	Col  int
+}
+
+// FieldSpec maps an outer-union column to a scalar child element.
+type FieldSpec struct {
+	Name string
+	Col  int
+}
+
+// Level describes one level of the sorted outer union.
+type Level struct {
+	// Tag is the value of the level column identifying this level's rows.
+	Tag int64
+	// ElemName is the element constructed for each row of this level.
+	ElemName string
+	// KeyCols identify a node instance (within the union row).
+	KeyCols []int
+	// Attrs and Fields populate the element from the row.
+	Attrs  []AttrSpec
+	Fields []FieldSpec
+	// TextCol, when >= 0, supplies text content.
+	TextCol int
+}
+
+// Template is a full tagging specification: LevelCol selects each row's
+// level; Levels are ordered root-first (level i+1 rows attach to the most
+// recently opened level-i element).
+type Template struct {
+	LevelCol int
+	Levels   []Level
+}
+
+// Tag converts sorted outer-union rows into the sequence of root-level
+// elements. Rows must be sorted so that each parent row immediately
+// precedes its children (the ORDER BY of the sorted outer union). Space is
+// constant in the document size: only the stack of currently open nodes is
+// retained (the output slice aside).
+func (t *Template) Tag(rows []xqgm.Tuple) ([]*xdm.Node, error) {
+	var out []*xdm.Node
+	// stack[i] is the currently open node at level i.
+	stack := make([]*xdm.Node, len(t.Levels))
+	for _, row := range rows {
+		if t.LevelCol >= len(row) {
+			return nil, fmt.Errorf("tagger: row too narrow for level column %d", t.LevelCol)
+		}
+		tag := row[t.LevelCol].AsInt()
+		li := -1
+		for i, l := range t.Levels {
+			if l.Tag == tag {
+				li = i
+				break
+			}
+		}
+		if li < 0 {
+			return nil, fmt.Errorf("tagger: unknown level tag %d", tag)
+		}
+		l := t.Levels[li]
+		n := xdm.Elem(l.ElemName)
+		for _, a := range l.Attrs {
+			n.AppendChild(xdm.Attr(a.Name, row[a.Col].Lexical()))
+		}
+		for _, f := range l.Fields {
+			n.AppendChild(xdm.Elem(f.Name, xdm.TextNd(row[f.Col].Lexical())))
+		}
+		if l.TextCol >= 0 && l.TextCol < len(row) && !row[l.TextCol].IsNull() {
+			n.AppendChild(xdm.TextNd(row[l.TextCol].Lexical()))
+		}
+		if li == 0 {
+			out = append(out, n)
+		} else {
+			parent := stack[li-1]
+			if parent == nil {
+				return nil, fmt.Errorf("tagger: level-%d row with no open parent (input not sorted?)", tag)
+			}
+			parent.AppendChild(n)
+		}
+		stack[li] = n
+		for i := li + 1; i < len(stack); i++ {
+			stack[i] = nil
+		}
+	}
+	return out, nil
+}
+
+// OuterUnion builds the sorted outer union plan over per-level operators:
+// each level's rows are padded to the common width
+// [level, key columns..., level-specific columns...] and the union is
+// ordered by the interleaved key columns then level, so parents precede
+// children (Figure 16's ORDER BY TrigIDs, pname, vid). levels[i] must
+// produce the key columns of all enclosing levels first.
+func OuterUnion(levels []*xqgm.Operator, keyWidths []int) (*xqgm.Operator, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("tagger: no levels")
+	}
+	// Common width: 1 (level) + max over levels of their width.
+	maxW := 0
+	for _, l := range levels {
+		if w := l.OutWidth(); w > maxW {
+			maxW = w
+		}
+	}
+	padded := make([]*xqgm.Operator, len(levels))
+	for i, l := range levels {
+		projs := make([]xqgm.Proj, 0, maxW+1)
+		projs = append(projs, xqgm.Proj{Name: "lvl", E: xqgm.LitOf(xdm.Int(int64(i + 1)))})
+		w := l.OutWidth()
+		for c := 0; c < maxW; c++ {
+			if c < w {
+				projs = append(projs, xqgm.Proj{Name: fmt.Sprintf("c%d", c), E: xqgm.Col(c)})
+			} else {
+				projs = append(projs, xqgm.Proj{Name: fmt.Sprintf("c%d", c), E: xqgm.LitOf(xdm.Null)})
+			}
+		}
+		padded[i] = xqgm.NewProject(l, projs...)
+	}
+	u := xqgm.NewUnion(false, padded...)
+	// Sort by the outermost level's keys, then deeper keys, then level, so
+	// each parent row precedes its children: order by key columns in
+	// outer-to-inner order with NULLS FIRST (xdm.Compare sorts nulls
+	// first), finally by the level column.
+	var order []xqgm.OrderCol
+	col := 1
+	for li := range levels {
+		for k := 0; k < keyWidths[li]; k++ {
+			order = append(order, xqgm.OrderCol{Col: col})
+			col++
+		}
+		_ = li
+	}
+	order = append(order, xqgm.OrderCol{Col: 0})
+	return xqgm.NewOrderBy(u, order...), nil
+}

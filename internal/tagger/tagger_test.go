@@ -1,0 +1,143 @@
+package tagger
+
+import (
+	"testing"
+
+	"quark/internal/fixtures"
+	"quark/internal/xdm"
+	"quark/internal/xqgm"
+)
+
+// buildCatalogUnion builds the two-level sorted outer union for the paper's
+// catalog view: level 1 rows are qualifying products (pname), level 2 rows
+// are their vendors (pname, vid, pid, price) — the shape of Figure 16's
+// final SELECT ... UNION ALL ... ORDER BY.
+func buildCatalogUnion(t *testing.T) (*xqgm.Operator, *Template, []xqgm.Tuple) {
+	t.Helper()
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := fixtures.BuildCatalogView(db.Schema(), 2)
+
+	// Level 1: qualifying products -> (pname).
+	lvl1 := xqgm.ProjectCols(v.ProductProj, []int{v.ProdNameCol})
+
+	// Level 2: vendors of qualifying products -> (pname, vid, pid, price).
+	// Join the qualifying names with the product/vendor join (box 3).
+	names := xqgm.NewGroupBy(lvl1, []int{0})
+	join := xqgm.NewJoin(xqgm.JoinInner, names, v.PVJoin, []xqgm.JoinEq{{L: 0, R: 1}}, nil)
+	lvl2 := xqgm.NewProject(join,
+		xqgm.Proj{Name: "pname", E: xqgm.Col(0)},
+		xqgm.Proj{Name: "vid", E: xqgm.Col(4)},
+		xqgm.Proj{Name: "pid", E: xqgm.Col(5)},
+		xqgm.Proj{Name: "price", E: xqgm.Col(6)},
+	)
+
+	union, err := OuterUnion([]*xqgm.Operator{lvl1, lvl2}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &Template{
+		LevelCol: 0,
+		Levels: []Level{
+			{Tag: 1, ElemName: "product", KeyCols: []int{1},
+				Attrs: []AttrSpec{{Name: "name", Col: 1}}, TextCol: -1},
+			{Tag: 2, ElemName: "vendor", KeyCols: []int{2, 3},
+				Fields:  []FieldSpec{{Name: "vid", Col: 2}, {Name: "pid", Col: 3}, {Name: "price", Col: 4}},
+				TextCol: -1},
+		},
+	}
+	ctx := xqgm.NewEvalContext(db, nil)
+	rows, err := ctx.Eval(union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return union, tmpl, rows
+}
+
+// TestTaggerReconstructsCatalog: tagging the sorted outer union yields the
+// same products as direct view evaluation.
+func TestTaggerReconstructsCatalog(t *testing.T) {
+	_, tmpl, rows := buildCatalogUnion(t)
+	nodes, err := tmpl.Tag(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("tagged products = %d, want 2", len(nodes))
+	}
+	// Compare against direct evaluation of the view's product level.
+	db, err := fixtures.OpenPaperDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := fixtures.BuildCatalogView(db.Schema(), 2)
+	ctx := xqgm.NewEvalContext(db, nil)
+	direct, err := ctx.Eval(v.ProductProj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for _, r := range direct {
+		n := r[v.ProdNodeCol].AsNode()
+		nm, _ := n.Attribute("name")
+		want[nm] = n.Serialize(false)
+	}
+	for _, n := range nodes {
+		nm, _ := n.Attribute("name")
+		if got := n.Serialize(false); got != want[nm] {
+			t.Errorf("tagged %q:\n got: %s\nwant: %s", nm, got, want[nm])
+		}
+	}
+}
+
+// TestTaggerRowOrder: rows arrive parent-first because of the union's
+// ORDER BY (nulls sort first).
+func TestTaggerRowOrder(t *testing.T) {
+	_, _, rows := buildCatalogUnion(t)
+	if len(rows) != 2+7 {
+		t.Fatalf("union rows = %d, want 9 (2 products + 7 vendors)", len(rows))
+	}
+	if rows[0][0].AsInt() != 1 {
+		t.Errorf("first row level = %v, want 1 (product before its vendors)", rows[0][0])
+	}
+	// Every level-2 row must follow a level-1 row with the same pname.
+	currentName := ""
+	for i, r := range rows {
+		switch r[0].AsInt() {
+		case 1:
+			currentName = r[1].AsString()
+		case 2:
+			if r[1].AsString() != currentName {
+				t.Errorf("row %d: vendor of %q under product %q", i, r[1].AsString(), currentName)
+			}
+		}
+	}
+}
+
+// TestTaggerErrors: malformed inputs are rejected.
+func TestTaggerErrors(t *testing.T) {
+	tmpl := &Template{LevelCol: 0, Levels: []Level{
+		{Tag: 1, ElemName: "a", TextCol: -1},
+		{Tag: 2, ElemName: "b", TextCol: -1},
+	}}
+	// Child with no open parent.
+	_, err := tmpl.Tag([]xqgm.Tuple{{xdm.Int(2)}})
+	if err == nil {
+		t.Error("expected error for orphan child row")
+	}
+	// Unknown level.
+	_, err = tmpl.Tag([]xqgm.Tuple{{xdm.Int(9)}})
+	if err == nil {
+		t.Error("expected error for unknown level")
+	}
+	// Empty input is fine.
+	nodes, err := tmpl.Tag(nil)
+	if err != nil || len(nodes) != 0 {
+		t.Error("empty input should tag to nothing")
+	}
+	if _, err := OuterUnion(nil, nil); err == nil {
+		t.Error("OuterUnion with no levels should fail")
+	}
+}

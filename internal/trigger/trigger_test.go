@@ -1,0 +1,113 @@
+package trigger
+
+import (
+	"strings"
+	"testing"
+
+	"quark/internal/reldb"
+	"quark/internal/xquery"
+)
+
+// TestParsePaperTrigger parses the Section 2.2 example verbatim.
+func TestParsePaperTrigger(t *testing.T) {
+	spec, err := Parse(`
+CREATE TRIGGER Notify AFTER Update
+ON view('catalog')/product
+WHERE OLD_NODE/@name = 'CRT 15'
+DO notifySmith(NEW_NODE)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "Notify" || spec.Event != reldb.EvUpdate {
+		t.Errorf("name=%q event=%v", spec.Name, spec.Event)
+	}
+	if spec.ViewName != "catalog" || len(spec.PathSteps) != 1 || spec.PathSteps[0].Name != "product" {
+		t.Errorf("path = %s", spec.PathString())
+	}
+	if spec.Condition == nil {
+		t.Fatal("condition missing")
+	}
+	cmp, ok := spec.Condition.(*xquery.Cmp)
+	if !ok || cmp.Op != "=" {
+		t.Errorf("condition = %s", xquery.String(spec.Condition))
+	}
+	if spec.ActionFn != "notifySmith" || len(spec.ActionArgs) != 1 {
+		t.Errorf("action = %s(%d args)", spec.ActionFn, len(spec.ActionArgs))
+	}
+	if nr, ok := spec.ActionArgs[0].(*xquery.NodeRef); !ok || nr.Old {
+		t.Errorf("arg = %s", xquery.String(spec.ActionArgs[0]))
+	}
+	if !strings.Contains(spec.PathString(), `view("catalog")/product`) {
+		t.Errorf("PathString = %s", spec.PathString())
+	}
+}
+
+func TestParseNoWhere(t *testing.T) {
+	spec, err := Parse(`CREATE TRIGGER T AFTER INSERT ON view('v')/a DO f(NEW_NODE)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Condition != nil || spec.Event != reldb.EvInsert {
+		t.Errorf("spec = %+v", spec)
+	}
+}
+
+func TestParseDescendantPath(t *testing.T) {
+	spec, err := Parse(`CREATE TRIGGER T AFTER DELETE ON view('v')//vendor DO f(OLD_NODE)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.PathSteps[0].Axis != "descendant" {
+		t.Errorf("axis = %s", spec.PathSteps[0].Axis)
+	}
+}
+
+func TestParseMultiArgAction(t *testing.T) {
+	spec, err := Parse(`CREATE TRIGGER T AFTER UPDATE ON view('v')/a DO f(NEW_NODE, OLD_NODE/@name, 42)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.ActionArgs) != 3 {
+		t.Errorf("args = %d", len(spec.ActionArgs))
+	}
+}
+
+// TestEventNodeConsistency: Section 2.2's rule — INSERT triggers may use
+// only NEW_NODE, DELETE only OLD_NODE.
+func TestEventNodeConsistency(t *testing.T) {
+	cases := []string{
+		`CREATE TRIGGER T AFTER INSERT ON view('v')/a WHERE OLD_NODE/@x = 1 DO f(NEW_NODE)`,
+		`CREATE TRIGGER T AFTER INSERT ON view('v')/a DO f(OLD_NODE)`,
+		`CREATE TRIGGER T AFTER DELETE ON view('v')/a DO f(NEW_NODE)`,
+		`CREATE TRIGGER T AFTER DELETE ON view('v')/a WHERE NEW_NODE/@x = 1 DO f(OLD_NODE)`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected node/event consistency error", src)
+		}
+	}
+	// UPDATE may use both.
+	if _, err := Parse(`CREATE TRIGGER T AFTER UPDATE ON view('v')/a WHERE OLD_NODE/@x != NEW_NODE/@x DO f(OLD_NODE, NEW_NODE)`); err != nil {
+		t.Errorf("UPDATE with both nodes rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`CREATE TRIGGER`,
+		`MAKE TRIGGER T AFTER UPDATE ON view('v')/a DO f(NEW_NODE)`,
+		`CREATE TRIGGER T AFTER FROB ON view('v')/a DO f(NEW_NODE)`,
+		`CREATE TRIGGER T AFTER UPDATE ON 42 DO f(NEW_NODE)`,
+		`CREATE TRIGGER T AFTER UPDATE ON nosuchview/a DO f(NEW_NODE)`,
+		`CREATE TRIGGER T AFTER UPDATE ON view('v')/a DO 42`,
+		`CREATE TRIGGER T AFTER UPDATE ON view('v')/a WHERE DO f(NEW_NODE)`,
+		`CREATE TRIGGER T AFTER UPDATE ON view('v')/a DO f(NEW_NODE) trailing`,
+		`CREATE TRIGGER T AFTER UPDATE ON view('v')/a`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}

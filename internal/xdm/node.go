@@ -1,0 +1,438 @@
+package xdm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeKind identifies the kind of an XML node.
+type NodeKind uint8
+
+// Node kinds supported by the view data model. Document nodes are not
+// needed: views always have a single constructed root element.
+const (
+	ElementNode NodeKind = iota
+	AttributeNode
+	TextNode
+)
+
+// Node is an XML node. Elements have a Name, Attrs, and Children; attribute
+// and text nodes carry their string content in Text. Nodes form trees; the
+// model is ordered (document order = slice order).
+type Node struct {
+	Kind     NodeKind
+	Name     string  // element/attribute name; empty for text nodes
+	Text     string  // attribute value or text content
+	Attrs    []*Node // attribute nodes, for elements
+	Children []*Node // child element/text nodes, for elements
+}
+
+// Elem constructs an element node with the given children. Attribute nodes
+// in children are routed to Attrs; everything else becomes child content.
+func Elem(name string, children ...*Node) *Node {
+	e := &Node{Kind: ElementNode, Name: name}
+	for _, c := range children {
+		if c == nil {
+			continue
+		}
+		if c.Kind == AttributeNode {
+			e.Attrs = append(e.Attrs, c)
+		} else {
+			e.Children = append(e.Children, c)
+		}
+	}
+	return e
+}
+
+// Attr constructs an attribute node.
+func Attr(name, value string) *Node {
+	return &Node{Kind: AttributeNode, Name: name, Text: value}
+}
+
+// Text constructs a text node.
+func TextNd(s string) *Node {
+	return &Node{Kind: TextNode, Text: s}
+}
+
+// AppendChild appends c to the element's content (or attributes when c is
+// an attribute node) and returns n for chaining.
+func (n *Node) AppendChild(c *Node) *Node {
+	if c == nil {
+		return n
+	}
+	if c.Kind == AttributeNode {
+		n.Attrs = append(n.Attrs, c)
+	} else {
+		n.Children = append(n.Children, c)
+	}
+	return n
+}
+
+// Attribute returns the value of the named attribute and whether it exists.
+func (n *Node) Attribute(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Text, true
+		}
+	}
+	return "", false
+}
+
+// ChildElements returns the child elements with the given name; "*" matches
+// all element children.
+func (n *Node) ChildElements(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && (name == "*" || c.Name == name) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Descendants appends to out all descendant elements (excluding n itself)
+// matching name ("*" for any), in document order.
+func (n *Node) Descendants(name string, out []*Node) []*Node {
+	for _, c := range n.Children {
+		if c.Kind != ElementNode {
+			continue
+		}
+		if name == "*" || c.Name == name {
+			out = append(out, c)
+		}
+		out = c.Descendants(name, out)
+	}
+	return out
+}
+
+// TextContent returns the concatenated text content of the subtree, i.e.
+// the XQuery string value of the node.
+func (n *Node) TextContent() string {
+	if n == nil {
+		return ""
+	}
+	switch n.Kind {
+	case TextNode, AttributeNode:
+		return n.Text
+	}
+	var sb strings.Builder
+	n.writeText(&sb)
+	return sb.String()
+}
+
+func (n *Node) writeText(sb *strings.Builder) {
+	for _, c := range n.Children {
+		switch c.Kind {
+		case TextNode:
+			sb.WriteString(c.Text)
+		case ElementNode:
+			c.writeText(sb)
+		}
+	}
+}
+
+// Copy returns a deep copy of the node.
+func (n *Node) Copy() *Node {
+	if n == nil {
+		return nil
+	}
+	m := &Node{Kind: n.Kind, Name: n.Name, Text: n.Text}
+	if len(n.Attrs) > 0 {
+		m.Attrs = make([]*Node, len(n.Attrs))
+		for i, a := range n.Attrs {
+			m.Attrs[i] = a.Copy()
+		}
+	}
+	if len(n.Children) > 0 {
+		m.Children = make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			m.Children[i] = c.Copy()
+		}
+	}
+	return m
+}
+
+// DeepEqual reports structural equality: same kind, name, text, attributes
+// (order-insensitive, per the XML data model) and children (order-sensitive).
+func (n *Node) DeepEqual(m *Node) bool {
+	if n == nil || m == nil {
+		return n == m
+	}
+	if n.Kind != m.Kind || n.Name != m.Name || n.Text != m.Text {
+		return false
+	}
+	if len(n.Attrs) != len(m.Attrs) || len(n.Children) != len(m.Children) {
+		return false
+	}
+	if len(n.Attrs) > 0 {
+		av := make(map[string]string, len(n.Attrs))
+		for _, a := range n.Attrs {
+			av[a.Name] = a.Text
+		}
+		for _, b := range m.Attrs {
+			v, ok := av[b.Name]
+			if !ok || v != b.Text {
+				return false
+			}
+		}
+	}
+	for i := range n.Children {
+		if !n.Children[i].DeepEqual(m.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Serialize renders the subtree as XML text. When indent is true a
+// two-space indented multi-line form is produced.
+func (n *Node) Serialize(indent bool) string {
+	if n == nil {
+		return ""
+	}
+	var sb strings.Builder
+	n.serialize(&sb, indent, 0)
+	return sb.String()
+}
+
+func (n *Node) serialize(sb *strings.Builder, indent bool, depth int) {
+	pad := ""
+	if indent {
+		pad = strings.Repeat("  ", depth)
+	}
+	switch n.Kind {
+	case TextNode:
+		sb.WriteString(pad)
+		escapeText(sb, n.Text)
+		if indent {
+			sb.WriteByte('\n')
+		}
+	case AttributeNode:
+		// A bare attribute serialized alone (diagnostics only).
+		sb.WriteString(pad)
+		sb.WriteString(n.Name)
+		sb.WriteString(`="`)
+		escapeAttr(sb, n.Text)
+		sb.WriteString(`"`)
+		if indent {
+			sb.WriteByte('\n')
+		}
+	case ElementNode:
+		sb.WriteString(pad)
+		sb.WriteByte('<')
+		sb.WriteString(n.Name)
+		// Stable attribute order for deterministic serialization.
+		attrs := n.Attrs
+		if len(attrs) > 1 {
+			attrs = append([]*Node(nil), attrs...)
+			sort.SliceStable(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+		}
+		for _, a := range attrs {
+			sb.WriteByte(' ')
+			sb.WriteString(a.Name)
+			sb.WriteString(`="`)
+			escapeAttr(sb, a.Text)
+			sb.WriteString(`"`)
+		}
+		if len(n.Children) == 0 {
+			sb.WriteString("/>")
+			if indent {
+				sb.WriteByte('\n')
+			}
+			return
+		}
+		sb.WriteByte('>')
+		onlyText := true
+		for _, c := range n.Children {
+			if c.Kind != TextNode {
+				onlyText = false
+				break
+			}
+		}
+		if indent && !onlyText {
+			sb.WriteByte('\n')
+			for _, c := range n.Children {
+				c.serialize(sb, true, depth+1)
+			}
+			sb.WriteString(pad)
+		} else {
+			for _, c := range n.Children {
+				c.serialize(sb, false, 0)
+			}
+		}
+		sb.WriteString("</")
+		sb.WriteString(n.Name)
+		sb.WriteByte('>')
+		if indent {
+			sb.WriteByte('\n')
+		}
+	}
+}
+
+func escapeText(sb *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}
+
+func escapeAttr(sb *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '"':
+			sb.WriteString("&quot;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}
+
+// Parse parses a small subset of XML sufficient to round-trip Serialize
+// output in tests: elements, attributes, text, entities, self-closing tags.
+func Parse(s string) (*Node, error) {
+	p := &xmlParser{src: s}
+	p.skipSpace()
+	n, err := p.parseElement()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("xdm: trailing content at offset %d", p.pos)
+	}
+	return n, nil
+}
+
+type xmlParser struct {
+	src string
+	pos int
+}
+
+func (p *xmlParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *xmlParser) parseElement() (*Node, error) {
+	if p.pos >= len(p.src) || p.src[p.pos] != '<' {
+		return nil, fmt.Errorf("xdm: expected '<' at offset %d", p.pos)
+	}
+	p.pos++
+	name := p.parseName()
+	if name == "" {
+		return nil, fmt.Errorf("xdm: expected element name at offset %d", p.pos)
+	}
+	e := &Node{Kind: ElementNode, Name: name}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("xdm: unexpected end of input in <%s>", name)
+		}
+		if strings.HasPrefix(p.src[p.pos:], "/>") {
+			p.pos += 2
+			return e, nil
+		}
+		if p.src[p.pos] == '>' {
+			p.pos++
+			break
+		}
+		an := p.parseName()
+		if an == "" {
+			return nil, fmt.Errorf("xdm: expected attribute name at offset %d", p.pos)
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != '=' {
+			return nil, fmt.Errorf("xdm: expected '=' after attribute %q", an)
+		}
+		p.pos++
+		p.skipSpace()
+		if p.pos >= len(p.src) || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+			return nil, fmt.Errorf("xdm: expected quoted value for attribute %q", an)
+		}
+		q := p.src[p.pos]
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != q {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("xdm: unterminated attribute value for %q", an)
+		}
+		e.Attrs = append(e.Attrs, Attr(an, unescape(p.src[start:p.pos])))
+		p.pos++
+	}
+	// Content.
+	for {
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("xdm: missing </%s>", name)
+		}
+		if strings.HasPrefix(p.src[p.pos:], "</") {
+			p.pos += 2
+			cn := p.parseName()
+			if cn != name {
+				return nil, fmt.Errorf("xdm: mismatched close tag </%s>, want </%s>", cn, name)
+			}
+			p.skipSpace()
+			if p.pos >= len(p.src) || p.src[p.pos] != '>' {
+				return nil, fmt.Errorf("xdm: expected '>' closing </%s>", name)
+			}
+			p.pos++
+			return e, nil
+		}
+		if p.src[p.pos] == '<' {
+			c, err := p.parseElement()
+			if err != nil {
+				return nil, err
+			}
+			e.Children = append(e.Children, c)
+			continue
+		}
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '<' {
+			p.pos++
+		}
+		txt := unescape(p.src[start:p.pos])
+		if strings.TrimSpace(txt) != "" {
+			e.Children = append(e.Children, TextNd(txt))
+		}
+	}
+}
+
+func (p *xmlParser) parseName() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '>' || c == '=' || c == '/' || c == '<' {
+			break
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func unescape(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	r := strings.NewReplacer("&lt;", "<", "&gt;", ">", "&quot;", `"`, "&amp;", "&")
+	return r.Replace(s)
+}

@@ -1,0 +1,504 @@
+// Package xdm implements the data model shared by every layer of the
+// system: relational column values, XQGM tuple values, and XML nodes.
+// It is a small, self-contained analogue of the XQuery 1.0 data model
+// restricted to the types the paper's XQuery subset (Appendix D) needs.
+package xdm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds. KindNode holds a single XML node; KindSeq holds
+// an ordered sequence of values (typically nodes produced by aggXMLFrag).
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindNode
+	KindSeq
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindNode:
+		return "node"
+	case KindSeq:
+		return "sequence"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed value. The zero Value is Null. Values are
+// immutable by convention: operations return new Values.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+	node *Node
+	seq  []Value
+}
+
+// Null is the null (absent) value.
+var Null = Value{kind: KindNull}
+
+// True and False are the boolean constants.
+var (
+	True  = Value{kind: KindBool, b: true}
+	False = Value{kind: KindBool, b: false}
+)
+
+// Bool returns a boolean Value.
+func Bool(b bool) Value {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Int returns an integer Value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point Value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// String returns a string Value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// NodeVal wraps an XML node as a Value. A nil node yields Null.
+func NodeVal(n *Node) Value {
+	if n == nil {
+		return Null
+	}
+	return Value{kind: KindNode, node: n}
+}
+
+// Seq returns a sequence Value over vs. The slice is not copied.
+func Seq(vs []Value) Value { return Value{kind: KindSeq, seq: vs} }
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsBool returns the boolean content; callers must check Kind first.
+func (v Value) AsBool() bool { return v.b }
+
+// AsInt returns the integer content, converting floats by truncation.
+func (v Value) AsInt() int64 {
+	if v.kind == KindFloat {
+		return int64(v.f)
+	}
+	return v.i
+}
+
+// AsFloat returns the numeric content as float64.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsString returns the string content; for non-strings it returns the
+// canonical lexical form (like XQuery fn:string).
+func (v Value) AsString() string {
+	switch v.kind {
+	case KindString:
+		return v.s
+	default:
+		return v.Lexical()
+	}
+}
+
+// AsNode returns the node content or nil.
+func (v Value) AsNode() *Node {
+	if v.kind != KindNode {
+		return nil
+	}
+	return v.node
+}
+
+// AsSeq returns the contained sequence. A single node or scalar is treated
+// as a singleton sequence; Null is the empty sequence.
+func (v Value) AsSeq() []Value {
+	switch v.kind {
+	case KindSeq:
+		return v.seq
+	case KindNull:
+		return nil
+	default:
+		return []Value{v}
+	}
+}
+
+// SeqLen returns the length of the value viewed as a sequence.
+func (v Value) SeqLen() int {
+	switch v.kind {
+	case KindSeq:
+		return len(v.seq)
+	case KindNull:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// IsNumeric reports whether the value is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Lexical returns the canonical lexical representation used for tagging
+// values into XML text and for string comparison of typed values.
+func (v Value) Lexical() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e15 {
+			// Render integral floats the way a DECIMAL column would.
+			return strconv.FormatFloat(v.f, 'f', 2, 64)
+		}
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindNode:
+		return v.node.Serialize(false)
+	case KindSeq:
+		var sb strings.Builder
+		for _, e := range v.seq {
+			sb.WriteString(e.Lexical())
+		}
+		return sb.String()
+	default:
+		return ""
+	}
+}
+
+// String implements fmt.Stringer with a debugging-oriented form.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindSeq:
+		parts := make([]string, len(v.seq))
+		for i, e := range v.seq {
+			parts[i] = e.String()
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	default:
+		return v.Lexical()
+	}
+}
+
+// EffectiveBool computes the XQuery effective boolean value: false for
+// null/empty, the value itself for bool, non-zero for numerics, non-empty
+// for strings, true for any node or non-empty sequence.
+func (v Value) EffectiveBool() bool {
+	switch v.kind {
+	case KindNull:
+		return false
+	case KindBool:
+		return v.b
+	case KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	case KindString:
+		return v.s != ""
+	case KindNode:
+		return true
+	case KindSeq:
+		return len(v.seq) > 0
+	default:
+		return false
+	}
+}
+
+// Compare orders two values. Nulls sort first; values of different kinds
+// are ordered by numeric promotion when both are numeric, else by their
+// lexical form. Returns -1, 0, or 1.
+func Compare(a, b Value) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == KindNull && b.kind == KindNull:
+			return 0
+		case a.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind == KindBool && b.kind == KindBool {
+		switch {
+		case !a.b && b.b:
+			return -1
+		case a.b && !b.b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a.AsString(), b.AsString())
+}
+
+// Equal reports deep equality of two values. Node values compare by deep
+// structural equality (the paper's tagger-level OLD_NODE = NEW_NODE check).
+func Equal(a, b Value) bool {
+	if a.kind != b.kind {
+		if a.IsNumeric() && b.IsNumeric() {
+			return a.AsFloat() == b.AsFloat()
+		}
+		return false
+	}
+	switch a.kind {
+	case KindNull:
+		return true
+	case KindBool:
+		return a.b == b.b
+	case KindInt:
+		return a.i == b.i
+	case KindFloat:
+		return a.f == b.f
+	case KindString:
+		return a.s == b.s
+	case KindNode:
+		return a.node.DeepEqual(b.node)
+	case KindSeq:
+		if len(a.seq) != len(b.seq) {
+			return false
+		}
+		for i := range a.seq {
+			if !Equal(a.seq[i], b.seq[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Key returns a string usable as a map key that distinguishes values the
+// way Equal does for scalar kinds. Node and sequence values key by their
+// serialized form.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00N"
+	case KindBool:
+		if v.b {
+			return "\x00T"
+		}
+		return "\x00F"
+	case KindInt:
+		return "\x00i" + strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		if v.f == math.Trunc(v.f) {
+			// Integral floats key identically to ints so that numeric
+			// promotion in Equal matches Key-based grouping.
+			return "\x00i" + strconv.FormatInt(int64(v.f), 10)
+		}
+		return "\x00f" + strconv.FormatFloat(v.f, 'b', -1, 64)
+	case KindString:
+		return "\x00s" + v.s
+	case KindNode:
+		return "\x00n" + v.node.Serialize(false)
+	case KindSeq:
+		var sb strings.Builder
+		sb.WriteString("\x00q")
+		for _, e := range v.seq {
+			k := e.Key()
+			sb.WriteString(strconv.Itoa(len(k)))
+			sb.WriteByte(':')
+			sb.WriteString(k)
+		}
+		return sb.String()
+	default:
+		return "\x00?"
+	}
+}
+
+// TupleKey concatenates the Keys of vs into a single composite map key.
+func TupleKey(vs []Value) string {
+	var sb strings.Builder
+	for _, v := range vs {
+		k := v.Key()
+		sb.WriteString(strconv.Itoa(len(k)))
+		sb.WriteByte(':')
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// Arith applies a binary arithmetic operator to numeric values. Null
+// operands yield Null (SQL semantics). Supported ops: + - * div mod.
+func Arith(op string, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Null, fmt.Errorf("xdm: arithmetic %q on non-numeric values %s, %s", op, a.Kind(), b.Kind())
+	}
+	if a.kind == KindInt && b.kind == KindInt && op != "div" {
+		x, y := a.i, b.i
+		switch op {
+		case "+":
+			return Int(x + y), nil
+		case "-":
+			return Int(x - y), nil
+		case "*":
+			return Int(x * y), nil
+		case "mod":
+			if y == 0 {
+				return Null, fmt.Errorf("xdm: mod by zero")
+			}
+			return Int(x % y), nil
+		}
+	}
+	x, y := a.AsFloat(), b.AsFloat()
+	switch op {
+	case "+":
+		return Float(x + y), nil
+	case "-":
+		return Float(x - y), nil
+	case "*":
+		return Float(x * y), nil
+	case "div":
+		if y == 0 {
+			return Null, fmt.Errorf("xdm: division by zero")
+		}
+		return Float(x / y), nil
+	case "mod":
+		if y == 0 {
+			return Null, fmt.Errorf("xdm: mod by zero")
+		}
+		return Float(math.Mod(x, y)), nil
+	default:
+		return Null, fmt.Errorf("xdm: unknown arithmetic operator %q", op)
+	}
+}
+
+// CompareOp evaluates a general comparison (=, !=, <, <=, >, >=) with SQL
+// null semantics: any comparison involving Null is Null (returned as Null).
+func CompareOp(op string, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	var c int
+	if a.kind == KindNode || b.kind == KindNode || a.kind == KindSeq || b.kind == KindSeq {
+		// General comparison over sequences: true if any pair matches.
+		as, bs := a.AsSeq(), b.AsSeq()
+		for _, x := range as {
+			for _, y := range bs {
+				r, err := CompareOp(op, atomize(x), atomize(y))
+				if err != nil {
+					return Null, err
+				}
+				if r.EffectiveBool() {
+					return True, nil
+				}
+			}
+		}
+		return False, nil
+	}
+	c = Compare(a, b)
+	switch op {
+	case "=":
+		return Bool(c == 0), nil
+	case "!=":
+		return Bool(c != 0), nil
+	case "<":
+		return Bool(c < 0), nil
+	case "<=":
+		return Bool(c <= 0), nil
+	case ">":
+		return Bool(c > 0), nil
+	case ">=":
+		return Bool(c >= 0), nil
+	default:
+		return Null, fmt.Errorf("xdm: unknown comparison operator %q", op)
+	}
+}
+
+// atomize extracts the typed value of a node (its text content, parsed as a
+// number when possible), mirroring XQuery fn:data for our subset.
+func atomize(v Value) Value {
+	if v.kind != KindNode {
+		return v
+	}
+	return ParseTyped(v.node.TextContent())
+}
+
+// Atomize is the exported form of atomize, applying fn:data semantics to
+// nodes and mapping sequences element-wise.
+func Atomize(v Value) Value {
+	switch v.kind {
+	case KindNode:
+		return atomize(v)
+	case KindSeq:
+		out := make([]Value, len(v.seq))
+		for i, e := range v.seq {
+			out[i] = Atomize(e)
+		}
+		return Seq(out)
+	default:
+		return v
+	}
+}
+
+// ParseTyped parses s into an Int or Float when it is a valid number, else
+// returns it as a string value.
+func ParseTyped(s string) Value {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return Str(s)
+	}
+	if i, err := strconv.ParseInt(t, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(t, 64); err == nil {
+		return Float(f)
+	}
+	return Str(s)
+}

@@ -1,0 +1,362 @@
+package xdm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null, KindNull},
+		{Bool(true), KindBool},
+		{Int(42), KindInt},
+		{Float(3.5), KindFloat},
+		{Str("hi"), KindString},
+		{NodeVal(Elem("a")), KindNode},
+		{Seq([]Value{Int(1)}), KindSeq},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind() = %v, want %v", c.v.Kind(), c.kind)
+		}
+	}
+	if !Null.IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+	if NodeVal(nil).Kind() != KindNull {
+		t.Error("NodeVal(nil) should be Null")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if Int(7).AsInt() != 7 {
+		t.Error("AsInt")
+	}
+	if Float(7.9).AsInt() != 7 {
+		t.Error("AsInt truncation")
+	}
+	if Int(7).AsFloat() != 7.0 {
+		t.Error("AsFloat promotion")
+	}
+	if Str("x").AsString() != "x" {
+		t.Error("AsString")
+	}
+	if Int(12).AsString() != "12" {
+		t.Error("AsString of int")
+	}
+	if Bool(true).AsBool() != true {
+		t.Error("AsBool")
+	}
+}
+
+func TestLexicalForms(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, ""},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Int(-5), "-5"},
+		{Float(100), "100.00"},
+		{Float(120.5), "120.5"},
+		{Str("abc"), "abc"},
+	}
+	for _, c := range cases {
+		if got := c.v.Lexical(); got != c.want {
+			t.Errorf("Lexical(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestEffectiveBool(t *testing.T) {
+	truthy := []Value{Bool(true), Int(1), Float(-2), Str("x"), NodeVal(Elem("a")), Seq([]Value{Null})}
+	falsy := []Value{Null, Bool(false), Int(0), Float(0), Str(""), Seq(nil)}
+	for _, v := range truthy {
+		if !v.EffectiveBool() {
+			t.Errorf("EffectiveBool(%v) = false, want true", v)
+		}
+	}
+	for _, v := range falsy {
+		if v.EffectiveBool() {
+			t.Errorf("EffectiveBool(%v) = true, want false", v)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null, Null, 0},
+		{Null, Int(0), -1},
+		{Int(0), Null, 1},
+		{Int(1), Int(2), -1},
+		{Int(2), Float(1.5), 1},
+		{Float(1.5), Float(1.5), 0},
+		{Str("a"), Str("b"), -1},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Bool(true), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualNumericPromotion(t *testing.T) {
+	if !Equal(Int(3), Float(3.0)) {
+		t.Error("Int(3) should equal Float(3.0)")
+	}
+	if Equal(Int(3), Float(3.1)) {
+		t.Error("Int(3) should not equal Float(3.1)")
+	}
+	if !Equal(Null, Null) {
+		t.Error("Null equals Null (for identity purposes)")
+	}
+	if Equal(Str("3"), Int(3)) {
+		t.Error("string and int are not Equal")
+	}
+}
+
+func TestKeyDistinguishesLikeEqual(t *testing.T) {
+	vals := []Value{
+		Null, Bool(true), Bool(false), Int(0), Int(1), Int(-1),
+		Float(0.5), Float(1), Str(""), Str("a"), Str("1"),
+		NodeVal(Elem("a")), NodeVal(Elem("b")),
+		Seq([]Value{Int(1), Int(2)}), Seq([]Value{Int(1)}),
+	}
+	for i, a := range vals {
+		for j, b := range vals {
+			ke := a.Key() == b.Key()
+			eq := Equal(a, b)
+			if ke != eq {
+				t.Errorf("vals[%d]=%v vals[%d]=%v: Key match %v but Equal %v", i, a, j, b, ke, eq)
+			}
+		}
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	// Composite keys must not be confusable across boundaries.
+	a := TupleKey([]Value{Str("ab"), Str("c")})
+	b := TupleKey([]Value{Str("a"), Str("bc")})
+	if a == b {
+		t.Error("TupleKey must distinguish boundary placement")
+	}
+	c := TupleKey([]Value{Str("ab")})
+	if a == c {
+		t.Error("TupleKey must encode arity")
+	}
+}
+
+func TestTupleKeyQuick(t *testing.T) {
+	f := func(x, y string, n int64) bool {
+		a := TupleKey([]Value{Str(x), Int(n), Str(y)})
+		b := TupleKey([]Value{Str(x), Int(n), Str(y)})
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArith(t *testing.T) {
+	cases := []struct {
+		op   string
+		a, b Value
+		want Value
+	}{
+		{"+", Int(2), Int(3), Int(5)},
+		{"-", Int(2), Int(3), Int(-1)},
+		{"*", Int(4), Int(3), Int(12)},
+		{"mod", Int(7), Int(3), Int(1)},
+		{"div", Int(7), Int(2), Float(3.5)},
+		{"+", Float(1.5), Int(1), Float(2.5)},
+	}
+	for _, c := range cases {
+		got, err := Arith(c.op, c.a, c.b)
+		if err != nil {
+			t.Fatalf("Arith(%s): %v", c.op, err)
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("Arith(%v %s %v) = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+	if v, err := Arith("+", Null, Int(1)); err != nil || !v.IsNull() {
+		t.Error("null propagation in Arith")
+	}
+	if _, err := Arith("div", Int(1), Int(0)); err == nil {
+		t.Error("expected division-by-zero error")
+	}
+	if _, err := Arith("+", Str("a"), Int(1)); err == nil {
+		t.Error("expected non-numeric error")
+	}
+}
+
+func TestCompareOp(t *testing.T) {
+	ops := map[string][3]bool{ // results for (1 vs 2), (2 vs 2), (3 vs 2)
+		"=":  {false, true, false},
+		"!=": {true, false, true},
+		"<":  {true, false, false},
+		"<=": {true, true, false},
+		">":  {false, false, true},
+		">=": {false, true, true},
+	}
+	for op, want := range ops {
+		for i, a := range []Value{Int(1), Int(2), Int(3)} {
+			got, err := CompareOp(op, a, Int(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.AsBool() != want[i] {
+				t.Errorf("CompareOp(%v %s 2) = %v, want %v", a, op, got, want[i])
+			}
+		}
+	}
+	if v, err := CompareOp("=", Null, Int(1)); err != nil || !v.IsNull() {
+		t.Error("null comparison should yield Null")
+	}
+}
+
+func TestCompareOpGeneralSequence(t *testing.T) {
+	seq := Seq([]Value{Int(1), Int(5), Int(9)})
+	got, err := CompareOp("=", seq, Int(5))
+	if err != nil || !got.AsBool() {
+		t.Error("general comparison: seq = 5 should be true")
+	}
+	got, err = CompareOp(">", seq, Int(8))
+	if err != nil || !got.AsBool() {
+		t.Error("general comparison: seq > 8 should be true (9 matches)")
+	}
+	got, err = CompareOp("<", seq, Int(1))
+	if err != nil || got.AsBool() {
+		t.Error("general comparison: seq < 1 should be false")
+	}
+}
+
+func TestCompareOpNodeAtomization(t *testing.T) {
+	n := Elem("price", TextNd("120.00"))
+	got, err := CompareOp("=", NodeVal(n), Float(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.AsBool() {
+		t.Error("node with text 120.00 should compare = 120")
+	}
+	got, err = CompareOp("<", NodeVal(n), Int(121))
+	if err != nil || !got.AsBool() {
+		t.Error("node < 121 should hold")
+	}
+}
+
+func TestAtomize(t *testing.T) {
+	n := Elem("a", TextNd("42"))
+	if v := Atomize(NodeVal(n)); !Equal(v, Int(42)) {
+		t.Errorf("Atomize elem = %v, want 42", v)
+	}
+	s := Seq([]Value{NodeVal(Elem("a", TextNd("1"))), Str("x")})
+	out := Atomize(s)
+	if out.SeqLen() != 2 || !Equal(out.AsSeq()[0], Int(1)) {
+		t.Errorf("Atomize seq = %v", out)
+	}
+}
+
+func TestParseTyped(t *testing.T) {
+	if !Equal(ParseTyped("12"), Int(12)) {
+		t.Error("ParseTyped int")
+	}
+	if !Equal(ParseTyped("1.5"), Float(1.5)) {
+		t.Error("ParseTyped float")
+	}
+	if !Equal(ParseTyped("abc"), Str("abc")) {
+		t.Error("ParseTyped string")
+	}
+	if !Equal(ParseTyped(""), Str("")) {
+		t.Error("ParseTyped empty")
+	}
+}
+
+func TestSeqHelpers(t *testing.T) {
+	if Null.SeqLen() != 0 || Int(1).SeqLen() != 1 || Seq([]Value{Int(1), Int(2)}).SeqLen() != 2 {
+		t.Error("SeqLen")
+	}
+	if len(Int(1).AsSeq()) != 1 || len(Null.AsSeq()) != 0 {
+		t.Error("AsSeq")
+	}
+}
+
+// randomScalar builds an arbitrary scalar value from a rand source.
+func randomScalar(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Null
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(r.Int63n(1000) - 500)
+	case 3:
+		return Float(float64(r.Int63n(1000))/4 - 100)
+	default:
+		const letters = "abcdexyz"
+		n := r.Intn(6)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return Str(string(b))
+	}
+}
+
+func TestKeyEqualConsistencyQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(randomScalar(r))
+			args[1] = reflect.ValueOf(randomScalar(r))
+		},
+	}
+	f := func(a, b Value) bool {
+		return (a.Key() == b.Key()) == Equal(a, b)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTotalOrderQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			for i := range args {
+				args[i] = reflect.ValueOf(randomScalar(r))
+			}
+		},
+	}
+	// Transitivity on a sampled triple.
+	f := func(a, b, c Value) bool {
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 {
+			return Compare(a, c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,248 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"quark/internal/xdm"
+)
+
+// Expr is an XQuery AST node.
+type Expr interface {
+	astString() string
+}
+
+// Lit is a literal value.
+type Lit struct {
+	V xdm.Value
+}
+
+func (e *Lit) astString() string { return e.V.String() }
+
+// VarRef references a bound variable.
+type VarRef struct {
+	Name string
+}
+
+func (e *VarRef) astString() string { return "$" + e.Name }
+
+// ViewRef is view('name') — the root of a path over a registered view.
+type ViewRef struct {
+	Name string
+}
+
+func (e *ViewRef) astString() string { return fmt.Sprintf("view(%q)", e.Name) }
+
+// NodeRef references the trigger's OLD_NODE / NEW_NODE binding.
+type NodeRef struct {
+	Old bool
+}
+
+func (e *NodeRef) astString() string {
+	if e.Old {
+		return "OLD_NODE"
+	}
+	return "NEW_NODE"
+}
+
+// Step is one XPath step.
+type Step struct {
+	Axis  string // "child", "descendant", "attribute", "self"
+	Name  string // "*" matches any element
+	Preds []Expr // predicates, evaluated with "." bound to the step item
+}
+
+func (s Step) String() string {
+	var sb strings.Builder
+	switch s.Axis {
+	case "descendant":
+		sb.WriteString("//")
+	case "attribute":
+		sb.WriteString("/@")
+	case "self":
+		sb.WriteString("/.")
+	default:
+		sb.WriteString("/")
+	}
+	if s.Axis != "self" {
+		sb.WriteString(s.Name)
+	}
+	for _, p := range s.Preds {
+		sb.WriteString("[")
+		sb.WriteString(p.astString())
+		sb.WriteString("]")
+	}
+	return sb.String()
+}
+
+// Path is a base expression followed by steps.
+type Path struct {
+	Base  Expr
+	Steps []Step
+}
+
+func (e *Path) astString() string {
+	var sb strings.Builder
+	sb.WriteString(e.Base.astString())
+	for _, s := range e.Steps {
+		sb.WriteString(s.String())
+	}
+	return sb.String()
+}
+
+// ContextItem is "." inside a predicate.
+type ContextItem struct{}
+
+func (e *ContextItem) astString() string { return "." }
+
+// Cmp is a general comparison.
+type Cmp struct {
+	Op   string
+	L, R Expr
+}
+
+func (e *Cmp) astString() string {
+	return fmt.Sprintf("(%s %s %s)", e.L.astString(), e.Op, e.R.astString())
+}
+
+// Arith is an arithmetic expression (+ - * div mod).
+type Arith struct {
+	Op   string
+	L, R Expr
+}
+
+func (e *Arith) astString() string {
+	return fmt.Sprintf("(%s %s %s)", e.L.astString(), e.Op, e.R.astString())
+}
+
+// Logic is and/or/not.
+type Logic struct {
+	Op   string
+	Args []Expr
+}
+
+func (e *Logic) astString() string {
+	if e.Op == "not" {
+		return "not(" + e.Args[0].astString() + ")"
+	}
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.astString()
+	}
+	return "(" + strings.Join(parts, " "+e.Op+" ") + ")"
+}
+
+// FnCall is a function call (count, min, max, sum, avg, distinct, data,
+// string, not, empty, exists, concat).
+type FnCall struct {
+	Name string
+	Args []Expr
+}
+
+func (e *FnCall) astString() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.astString()
+	}
+	return e.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Quantified is some/every $v in seq satisfies pred.
+type Quantified struct {
+	Every bool
+	Var   string
+	Seq   Expr
+	Sat   Expr
+}
+
+func (e *Quantified) astString() string {
+	kw := "some"
+	if e.Every {
+		kw = "every"
+	}
+	return fmt.Sprintf("%s $%s in %s satisfies %s", kw, e.Var, e.Seq.astString(), e.Sat.astString())
+}
+
+// IfExpr is if (cond) then a else b.
+type IfExpr struct {
+	Cond, Then, Else Expr
+}
+
+func (e *IfExpr) astString() string {
+	return fmt.Sprintf("if (%s) then %s else %s", e.Cond.astString(), e.Then.astString(), e.Else.astString())
+}
+
+// ForClause / LetClause are FLWOR clauses.
+type ForClause struct {
+	Var string
+	Seq Expr
+}
+
+// LetClause binds a variable to an expression.
+type LetClause struct {
+	Var string
+	Seq Expr
+}
+
+// FLWOR is a for/let/where/return expression.
+type FLWOR struct {
+	Fors    []ForClause // interleaved order preserved in Clauses
+	Clauses []any       // ForClause | LetClause, in source order
+	Where   Expr
+	Return  Expr
+}
+
+func (e *FLWOR) astString() string {
+	var sb strings.Builder
+	for _, c := range e.Clauses {
+		switch c := c.(type) {
+		case ForClause:
+			fmt.Fprintf(&sb, "for $%s in %s ", c.Var, c.Seq.astString())
+		case LetClause:
+			fmt.Fprintf(&sb, "let $%s := %s ", c.Var, c.Seq.astString())
+		}
+	}
+	if e.Where != nil {
+		fmt.Fprintf(&sb, "where %s ", e.Where.astString())
+	}
+	fmt.Fprintf(&sb, "return %s", e.Return.astString())
+	return sb.String()
+}
+
+// AttrCtor is one attribute of an element constructor: name="literal" or
+// name={expr}.
+type AttrCtor struct {
+	Name string
+	Val  Expr
+}
+
+// ElemCtor is a direct element constructor. Content items are text
+// literals (Lit of string) or enclosed expressions.
+type ElemCtor struct {
+	Name    string
+	Attrs   []AttrCtor
+	Content []Expr
+}
+
+func (e *ElemCtor) astString() string {
+	var sb strings.Builder
+	sb.WriteString("<")
+	sb.WriteString(e.Name)
+	for _, a := range e.Attrs {
+		fmt.Fprintf(&sb, " %s={%s}", a.Name, a.Val.astString())
+	}
+	sb.WriteString(">")
+	for _, c := range e.Content {
+		fmt.Fprintf(&sb, "{%s}", c.astString())
+	}
+	sb.WriteString("</" + e.Name + ">")
+	return sb.String()
+}
+
+// String renders any AST node.
+func String(e Expr) string {
+	if e == nil {
+		return "<nil>"
+	}
+	return e.astString()
+}
