@@ -136,6 +136,54 @@ func BenchmarkFig24Satisfied(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchSize sweeps the batched-transaction API (Engine.Batch):
+// k single-row leaf updates per commit, for k = 1, 10, 100, 1000. The
+// translated SQL triggers fire once per commit with the merged Δ/∇, so
+// the reported ns/row — the per-row trigger-firing cost — should drop
+// roughly linearly with the batch size, against the "single" baseline of
+// k independent statements each paying a full firing.
+func BenchmarkBatchSize(b *testing.B) {
+	for _, batched := range []bool{false, true} {
+		api := "single"
+		if batched {
+			api = "batch"
+		}
+		for _, k := range []int{1, 10, 100, 1000} {
+			if !batched && k > 100 {
+				// 1000 independent firings per iteration: benchmark time
+				// without extra information (the cost is linear in k).
+				continue
+			}
+			b.Run(fmt.Sprintf("GROUPED/%s/rows=%d", api, k), func(b *testing.B) {
+				w, err := workload.Build(benchParams(), core.ModeGrouped, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				run := w.UpdateLeavesSingle
+				if batched {
+					run = w.UpdateLeavesBatch
+				}
+				// Warm-up (index builds, constants-table caches).
+				if err := run(k); err != nil {
+					b.Fatal(err)
+				}
+				warm := w.Notifications
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := run(k); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if w.Notifications == warm {
+					b.Fatal("no notifications fired in the timed loop; benchmark is not exercising the pipeline")
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/row")
+			})
+		}
+	}
+}
+
 // BenchmarkTriggerCompile measures XML-trigger compile time (paper §6:
 // "fairly small (a hundred milliseconds, even for a complex view)").
 func BenchmarkTriggerCompile(b *testing.B) {

@@ -20,7 +20,7 @@ import (
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "figure to regenerate: 17, 18, 22, 23, 24, compile, or all")
+	figFlag     = flag.String("fig", "all", "figure to regenerate: 17, 18, 22, 23, 24, batch, compile, or all")
 	scaleFlag   = flag.Float64("scale", 0.25, "data scale factor (1.0 = paper scale: 128K leaf tuples default)")
 	updatesFlag = flag.Int("updates", 100, "independent updates per measurement (paper: 100)")
 	maxTrigFlag = flag.Int("maxtriggers", 10000, "cap on trigger-count sweep (paper sweeps to 100,000)")
@@ -152,6 +152,48 @@ func fig24() {
 	}
 }
 
+// figBatch sweeps the batched-transaction API: k single-row leaf updates
+// per commit; the per-row trigger cost drops roughly linearly with the
+// batch size since the whole commit fires each SQL trigger once.
+func figBatch() {
+	fmt.Println("\nBatch-size sweep: per-row cost of k updates per transaction (GROUPED)")
+	fmt.Printf("%-14s%16s%16s\n", "batch size", "single", "batched")
+	fmt.Printf("%-14s%16s%16s  (avg ms per row)\n", "", "(k stmts)", "(1 commit)")
+	for _, k := range []int{1, 10, 100, 1000} {
+		p := defaults()
+		fmt.Printf("%-14d", k)
+		for _, batched := range []bool{false, true} {
+			w, err := workload.Build(p, core.ModeGrouped, 42)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			run := w.UpdateLeavesSingle
+			if batched {
+				run = w.UpdateLeavesBatch
+			}
+			if err := run(k); err != nil { // warm-up
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			iters := *updatesFlag / k
+			if iters < 1 {
+				iters = 1
+			}
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := run(k); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+			perRow := time.Since(start) / time.Duration(iters*k)
+			fmt.Printf("%16.3f", float64(perRow.Microseconds())/1000.0)
+		}
+		fmt.Println()
+	}
+}
+
 func figCompile() {
 	fmt.Println("\nTrigger compile time (paper §6: ~100 ms on 2003 hardware)")
 	p := defaults()
@@ -193,12 +235,15 @@ func main() {
 		fig24()
 	case "compile":
 		figCompile()
+	case "batch":
+		figBatch()
 	case "all":
 		fig17()
 		fig18()
 		fig22()
 		fig23()
 		fig24()
+		figBatch()
 		figCompile()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)

@@ -104,6 +104,31 @@ func main() {
 	after := engine.Stats()
 	fmt.Printf("\nactivated %d of %d watches with a single SQL trigger firing\n",
 		after.Actions, st.XMLTriggers)
+
+	// A market tick re-prices every symbol at once. With the batch API the
+	// whole transaction fires each SQL trigger once at commit with the
+	// merged transition tables, and clients see one coalesced notification
+	// per moved sector instead of one per repriced stock.
+	fmt.Println("\nmarket tick: repricing all five symbols in one transaction:")
+	setPrice := func(p float64) func(reldb.Row) reldb.Row {
+		return func(r reldb.Row) reldb.Row {
+			r[2] = xdm.Float(p)
+			return r
+		}
+	}
+	must(engine.Batch(func(tx *reldb.Tx) error {
+		for sym, price := range map[string]float64{
+			"QRK": 29.10, "XML": 9.95, "DB2": 86.40, "OIL": 8.20, "GAS": 24.10,
+		} {
+			if _, err := tx.UpdateByPK("quote", []xdm.Value{xdm.Str(sym)}, setPrice(price)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	final := engine.Stats()
+	fmt.Printf("\n5 quote updates -> %d trigger firing(s), %d client notification(s)\n",
+		final.Fires-after.Fires, final.Actions-after.Actions)
 }
 
 func cheapest(inv core.Invocation) string {

@@ -1,0 +1,36 @@
+package quark
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesSmoke builds and runs every examples/ program end to end and
+// checks for the line proving its trigger pipeline actually fired. The
+// examples double as integration tests of the public engine surface
+// (views, triggers, grouping, the batch API).
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests spawn `go run`; skipped in -short mode")
+	}
+	cases := map[string]string{
+		"quickstart": "action(s) ran",
+		"catalog":    "SQL triggers (grouped)",
+		"auction":    "notifications",
+		"stockwatch": "trigger firing(s)",
+	}
+	for name, want := range cases {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Errorf("output of %s lacks %q:\n%s", name, want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module quark
+
+go 1.24

@@ -376,8 +376,14 @@ func CreateANGraph(s *schema.Schema, ev reldb.Event, g *xqgm.Operator, table str
 
 	gNew, mapNew := xqgm.CloneMap(g)
 	gOld, mapOld := xqgm.CloneMap(g)
+	// Every base table in the old-side clone reads B_old, not just the
+	// fired table. For single-statement firings the other tables have empty
+	// transition tables and B_old degenerates to the current table, so this
+	// costs nothing; for batched transactions (Tx.Commit) the evaluator is
+	// handed the net deltas of every touched table and the old side then
+	// reconstructs the true pre-transaction state across tables.
 	xqgm.Walk(gOld, func(o *xqgm.Operator) {
-		if o.Type == xqgm.OpTable && o.Table == table && o.Source == xqgm.SrcBase {
+		if o.Type == xqgm.OpTable && o.Source == xqgm.SrcBase {
 			o.Source = xqgm.SrcOld
 		}
 	})

@@ -1,0 +1,194 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"quark/internal/core"
+	"quark/internal/reldb"
+	"quark/internal/xdm"
+)
+
+// errRollback is the sentinel the runner returns from a batch callback to
+// request a rollback; Engine.Batch rolls back and propagates it.
+var errRollback = fmt.Errorf("conformance: rollback requested")
+
+// Run executes the scenario's script in the given translation mode and
+// style and returns the formatted notification log. In single-statement
+// style every statement fires its triggers immediately (begin/commit are
+// ignored; rollback blocks are skipped entirely, matching the batched
+// style's rolled-back net effect of nothing). In batched style each
+// begin..commit block runs as one transaction whose triggers fire once at
+// commit.
+//
+// The log is deterministic: one unit per statement (or per batch block),
+// notifications sorted within each unit. Notification lines carry the
+// trigger, the view-level event, the evaluated action arguments, and the
+// serialized NEW node — everything the paper's action contract exposes
+// except OLD content, which the GROUPED-AGG mode may legitimately elide
+// when no trigger reads it (§5.2).
+func Run(sc *Scenario, mode core.Mode, batched bool) (string, error) {
+	db, err := reldb.Open(sc.Schema)
+	if err != nil {
+		return "", err
+	}
+	for _, dr := range sc.Data {
+		if err := db.Insert(dr.Table, dr.Row); err != nil {
+			return "", err
+		}
+	}
+	e := core.NewEngine(db, mode)
+
+	var unit []string
+	e.RegisterAction("notify", func(inv core.Invocation) error {
+		args := make([]string, len(inv.Args))
+		for i, a := range inv.Args {
+			args[i] = a.Lexical()
+		}
+		newXML := "-"
+		if inv.New != nil {
+			newXML = inv.New.Serialize(false)
+		}
+		unit = append(unit, fmt.Sprintf("notify %s %s args=(%s) new=%s",
+			inv.Trigger, inv.Event, strings.Join(args, "; "), newXML))
+		return nil
+	})
+	for _, v := range sc.Views {
+		if _, err := e.CreateView(v.Name, v.Src); err != nil {
+			return "", fmt.Errorf("view %s: %w", v.Name, err)
+		}
+	}
+	for _, src := range sc.Triggers {
+		if err := e.CreateTrigger(src); err != nil {
+			return "", fmt.Errorf("trigger: %w", err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		return "", err
+	}
+
+	var out strings.Builder
+	endUnit := func(label string) {
+		fmt.Fprintf(&out, "-- %s\n", label)
+		sort.Strings(unit)
+		for _, n := range unit {
+			out.WriteString(n)
+			out.WriteByte('\n')
+		}
+		unit = nil
+	}
+
+	i := 0
+	for i < len(sc.Script) {
+		st := sc.Script[i]
+		if st.Kind != StBegin {
+			if err := sc.execStmt(e, st); err != nil {
+				return "", fmt.Errorf("%s: %w", st.Text, err)
+			}
+			endUnit(st.Text)
+			i++
+			continue
+		}
+		// Collect the block.
+		j := i + 1
+		var block []Stmt
+		for j < len(sc.Script) && sc.Script[j].Kind != StCommit && sc.Script[j].Kind != StRollback {
+			if sc.Script[j].Kind == StBegin {
+				return "", fmt.Errorf("nested begin is not supported")
+			}
+			block = append(block, sc.Script[j])
+			j++
+		}
+		if j == len(sc.Script) {
+			return "", fmt.Errorf("begin without commit/rollback")
+		}
+		rollback := sc.Script[j].Kind == StRollback
+		label := fmt.Sprintf("begin..%s [%d stmts]", sc.Script[j].Text, len(block))
+		switch {
+		case !batched && rollback:
+			// Rolled back: net effect is nothing in either style.
+		case !batched:
+			for _, bs := range block {
+				if err := sc.execStmt(e, bs); err != nil {
+					return "", fmt.Errorf("%s: %w", bs.Text, err)
+				}
+				endUnit(bs.Text)
+			}
+			i = j + 1
+			continue
+		default:
+			err := e.Batch(func(tx *reldb.Tx) error {
+				for _, bs := range block {
+					if err := sc.execStmt(txWriter{tx}, bs); err != nil {
+						return fmt.Errorf("%s: %w", bs.Text, err)
+					}
+				}
+				if rollback {
+					return errRollback
+				}
+				return nil
+			})
+			if err != nil && err != errRollback {
+				return "", err
+			}
+		}
+		endUnit(label)
+		i = j + 1
+	}
+	return out.String(), nil
+}
+
+// stmtWriter is the mutation surface shared by the engine (per-statement
+// firing) and a transaction (per-commit firing).
+type stmtWriter interface {
+	Insert(table string, rows ...reldb.Row) error
+	Update(table string, pred func(reldb.Row) bool, set func(reldb.Row) reldb.Row) (int, error)
+	Delete(table string, pred func(reldb.Row) bool) (int, error)
+}
+
+// txWriter adapts *reldb.Tx (method set already matches; the wrapper only
+// exists to make the interface satisfaction explicit).
+type txWriter struct{ *reldb.Tx }
+
+func (sc *Scenario) execStmt(w stmtWriter, st Stmt) error {
+	switch st.Kind {
+	case StInsert:
+		return w.Insert(st.Table, reldb.Row(st.Row))
+	case StUpdate:
+		t, err := sc.table(st.Table)
+		if err != nil {
+			return err
+		}
+		type setCol struct {
+			ci int
+			v  xdm.Value
+		}
+		var sets []setCol
+		for col, v := range st.Sets {
+			sets = append(sets, setCol{t.ColIndex(col), v})
+		}
+		_, err = w.Update(st.Table, sc.pred(st), func(r reldb.Row) reldb.Row {
+			for _, s := range sets {
+				r[s.ci] = s.v
+			}
+			return r
+		})
+		return err
+	case StDelete:
+		_, err := w.Delete(st.Table, sc.pred(st))
+		return err
+	default:
+		return fmt.Errorf("unexpected statement kind %d", st.Kind)
+	}
+}
+
+// pred compiles the statement's where clause against the table layout.
+func (sc *Scenario) pred(st Stmt) func(reldb.Row) bool {
+	if st.WhereAll {
+		return func(reldb.Row) bool { return true }
+	}
+	t, _ := sc.Schema.Table(st.Table)
+	ci := t.ColIndex(st.WhereCol)
+	return func(r reldb.Row) bool { return xdm.Equal(r[ci], st.WhereVal) }
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"quark/internal/reldb"
+	"quark/internal/xdm"
+)
+
+// writer abstracts the mutation surface shared by the engine (one firing
+// wave per statement) and a reldb.Tx (one firing wave per commit), so the
+// same script can run in both styles.
+type writer interface {
+	Insert(table string, rows ...reldb.Row) error
+	UpdateByPK(table string, key []xdm.Value, set func(reldb.Row) reldb.Row) (bool, error)
+	DeleteByPK(table string, key ...xdm.Value) (bool, error)
+}
+
+func notifKeys(log []notification) []string {
+	out := make([]string, len(log))
+	for i, n := range log {
+		out[i] = fmt.Sprintf("%s|%s|new=%s|args=%d|%s", n.Trigger, n.Event, n.NewKey, n.Args, n.NewXML)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// setPrice returns a set function for the vendor table's price column.
+func setPrice(p float64) func(reldb.Row) reldb.Row {
+	return func(r reldb.Row) reldb.Row {
+		r[2] = xdm.Float(p)
+		return r
+	}
+}
+
+// runScript executes the script in the given style and returns the sorted
+// notification keys.
+func runScript(t *testing.T, mode Mode, batched bool, triggers []string, script func(writer) error) []string {
+	t.Helper()
+	e, log := newCatalogEngine(t, mode)
+	for _, src := range triggers {
+		if err := e.CreateTrigger(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	if batched {
+		err = e.Batch(func(tx *reldb.Tx) error { return script(tx) })
+	} else {
+		err = script(e)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return notifKeys(*log)
+}
+
+// TestBatchMatchesOracle runs a mixed script — updates to several rows of
+// the same product, a product flipping below the count(...) >= 2
+// threshold, and a brand-new product with two vendors — in every
+// translation mode, single-statement and batched, and requires each mode
+// to agree exactly with the MATERIALIZED oracle run in the same style.
+func TestBatchMatchesOracle(t *testing.T) {
+	triggers := []string{
+		`CREATE TRIGGER WatchCRT AFTER UPDATE ON view('catalog')/product
+		 WHERE NEW_NODE/@name = 'CRT 15' DO notifySmith(NEW_NODE)`,
+		`CREATE TRIGGER NewProducts AFTER INSERT ON view('catalog')/product
+		 DO notifySmith(NEW_NODE)`,
+		`CREATE TRIGGER GoneProducts AFTER DELETE ON view('catalog')/product
+		 DO notifySmith(OLD_NODE/@name)`,
+	}
+	script := func(w writer) error {
+		// Two updates to the same row (coalesce) plus one to a sibling.
+		if _, err := w.UpdateByPK("vendor", []xdm.Value{xdm.Str("Amazon"), xdm.Str("P1")}, setPrice(90)); err != nil {
+			return err
+		}
+		if _, err := w.UpdateByPK("vendor", []xdm.Value{xdm.Str("Amazon"), xdm.Str("P1")}, setPrice(80)); err != nil {
+			return err
+		}
+		if _, err := w.UpdateByPK("vendor", []xdm.Value{xdm.Str("Bestbuy"), xdm.Str("P1")}, setPrice(110)); err != nil {
+			return err
+		}
+		// LCD 19 drops below the 2-vendor threshold: a view-level DELETE.
+		if _, err := w.DeleteByPK("vendor", xdm.Str("Buy.com"), xdm.Str("P2")); err != nil {
+			return err
+		}
+		// A new product appears with two vendors: a view-level INSERT.
+		if err := w.Insert("product", reldb.Row{xdm.Str("P9"), xdm.Str("OLED 27"), xdm.Str("LG")}); err != nil {
+			return err
+		}
+		return w.Insert("vendor",
+			reldb.Row{xdm.Str("Amazon"), xdm.Str("P9"), xdm.Float(500)},
+			reldb.Row{xdm.Str("Bestbuy"), xdm.Str("P9"), xdm.Float(480)},
+		)
+	}
+	for _, batched := range []bool{false, true} {
+		style := "single"
+		if batched {
+			style = "batched"
+		}
+		t.Run(style, func(t *testing.T) {
+			oracle := runScript(t, ModeMaterialized, batched, triggers, script)
+			if len(oracle) == 0 {
+				t.Fatal("oracle fired nothing; script is not exercising the pipeline")
+			}
+			for _, mode := range []Mode{ModeUngrouped, ModeGrouped, ModeGroupedAgg} {
+				got := runScript(t, mode, batched, triggers, script)
+				if !reflect.DeepEqual(got, oracle) {
+					t.Errorf("%s/%s diverges from oracle:\n got:    %v\n oracle: %v", mode, style, got, oracle)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchFiresOncePerStatementGroup: N single-row updates inside one
+// batch must cost one trigger-plan evaluation, not N.
+func TestBatchFiresOncePerCommit(t *testing.T) {
+	e, log := newCatalogEngine(t, ModeGrouped)
+	err := e.CreateTrigger(`
+		CREATE TRIGGER Watch AFTER UPDATE ON view('catalog')/product
+		WHERE NEW_NODE/@name = 'CRT 15' DO notifySmith(NEW_NODE)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Stats().Fires
+	err = e.Batch(func(tx *reldb.Tx) error {
+		for i, vendor := range []string{"Amazon", "Bestbuy", "Circuitcity"} {
+			if _, err := tx.UpdateByPK("vendor", []xdm.Value{xdm.Str(vendor), xdm.Str("P1")}, setPrice(float64(60+i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fires := e.Stats().Fires - before
+	if fires != 1 {
+		t.Errorf("expected 1 plan firing for the whole batch, got %d", fires)
+	}
+	if len(*log) != 1 {
+		t.Errorf("expected 1 coalesced notification, got %d: %+v", len(*log), *log)
+	}
+}
+
+// TestBatchMultiTableOldState: a commit that changes BOTH joined tables
+// must still hand the action the true pre-transaction OLD_NODE (the old
+// side reconstructs every touched table, not just the firing one).
+func TestBatchMultiTableOldState(t *testing.T) {
+	for _, mode := range []Mode{ModeUngrouped, ModeGrouped, ModeGroupedAgg, ModeMaterialized} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			e, log := newCatalogEngine(t, mode)
+			err := e.CreateTrigger(`
+				CREATE TRIGGER Watch AFTER UPDATE ON view('catalog')/product
+				WHERE OLD_NODE/@name = 'CRT 15' DO notifySmith(OLD_NODE/@name, NEW_NODE/@name)`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			// Rename the product AND reprice one of its vendors in one batch.
+			err = e.Batch(func(tx *reldb.Tx) error {
+				if _, err := tx.UpdateByPK("product", []xdm.Value{xdm.Str("P1")}, func(r reldb.Row) reldb.Row {
+					r[1] = xdm.Str("CRT 15 flat")
+					return r
+				}); err != nil {
+					return err
+				}
+				_, err := tx.UpdateByPK("vendor", []xdm.Value{xdm.Str("Amazon"), xdm.Str("P1")}, setPrice(95))
+				return err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The renamed product is a view-level DELETE+INSERT of separate
+			// names plus ... P3 keeps name CRT 15 but is untouched. The
+			// trigger watches UPDATE with OLD name CRT 15: P1's node changed
+			// name (that is a delete/insert pair at the view level since the
+			// name is the canonical key) so no UPDATE should fire for it;
+			// nothing else changed under the old name except the vendor of
+			// P1 which now reports under the new name. The oracle defines
+			// the expected outcome; here we only require every mode to agree
+			// with it, computed below.
+			got := notifKeys(*log)
+			oe, olog := newCatalogEngine(t, ModeMaterialized)
+			if err := oe.CreateTrigger(`
+				CREATE TRIGGER Watch AFTER UPDATE ON view('catalog')/product
+				WHERE OLD_NODE/@name = 'CRT 15' DO notifySmith(OLD_NODE/@name, NEW_NODE/@name)`); err != nil {
+				t.Fatal(err)
+			}
+			if err := oe.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			err = oe.Batch(func(tx *reldb.Tx) error {
+				if _, err := tx.UpdateByPK("product", []xdm.Value{xdm.Str("P1")}, func(r reldb.Row) reldb.Row {
+					r[1] = xdm.Str("CRT 15 flat")
+					return r
+				}); err != nil {
+					return err
+				}
+				_, err := tx.UpdateByPK("vendor", []xdm.Value{xdm.Str("Amazon"), xdm.Str("P1")}, setPrice(95))
+				return err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := notifKeys(*olog)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s diverges from oracle:\n got:    %v\n oracle: %v", mode, got, want)
+			}
+		})
+	}
+}
+
+// TestBatchRollback: an erroring batch rolls everything back and fires
+// nothing.
+func TestBatchRollback(t *testing.T) {
+	e, log := newCatalogEngine(t, ModeGrouped)
+	err := e.CreateTrigger(`
+		CREATE TRIGGER Watch AFTER UPDATE ON view('catalog')/product
+		WHERE NEW_NODE/@name = 'CRT 15' DO notifySmith(NEW_NODE)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("boom")
+	err = e.Batch(func(tx *reldb.Tx) error {
+		if _, err := tx.UpdateByPK("vendor", []xdm.Value{xdm.Str("Amazon"), xdm.Str("P1")}, setPrice(10)); err != nil {
+			return err
+		}
+		return boom
+	})
+	if err == nil {
+		t.Fatal("expected the batch error to propagate")
+	}
+	if len(*log) != 0 {
+		t.Errorf("rolled-back batch fired notifications: %+v", *log)
+	}
+	r, ok, _ := e.DB().GetByPK("vendor", xdm.Str("Amazon"), xdm.Str("P1"))
+	if !ok || r[2].AsFloat() != 100 {
+		t.Errorf("rollback did not restore the price: %v", r)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"quark/internal/affected"
 	"quark/internal/compile"
@@ -80,22 +81,55 @@ type Stats struct {
 }
 
 // Engine ties the pipeline together over one relational database.
+//
+// Concurrency model: e.mu (an RWMutex) guards only engine metadata —
+// registered views, triggers, groups, compiled plans, and the derived
+// lock-planning tables. Data access is coordinated by per-table
+// read/write locks: a statement write-locks its target table and
+// read-locks every table the installed trigger plans for that target may
+// read; EvalView read-locks only the tables its view reads. Concurrent
+// readers therefore never serialize behind each other, and only
+// serialize behind writers that touch overlapping tables. Lock
+// acquisition always follows the global table-name order, which makes
+// cycles (and hence deadlocks) impossible. Action callbacks run while
+// the firing statement's locks are held and must not call back into the
+// engine.
 type Engine struct {
-	mu      sync.Mutex
-	db      *reldb.DB
-	comp    *compile.Compiler
-	mode    Mode
-	actions map[string]ActionFunc
+	mu   sync.RWMutex
+	db   *reldb.DB
+	comp *compile.Compiler
+	mode Mode
+
+	// actions is copy-on-write so trigger firings can read it without
+	// taking e.mu (firings run under table locks, not the metadata lock).
+	actions atomic.Pointer[map[string]ActionFunc]
 
 	triggers map[string]*TriggerInfo
 	groups   map[string]*group
 	order    []string // group signatures in creation order
 	dirty    bool
-	sqlSeq   int
-	sqlNames []string
+	// dirtyGroups marks groups whose membership changed since the last
+	// flush; unchanged groups keep their compiled plans across flushes.
+	dirtyGroups    map[string]bool
+	pendingDropSQL []string // SQL triggers of groups that were emptied
+	sqlSeq         int
 
-	fires   int64
-	actsRun int64
+	// Per-table lock manager. lockOrder is the global acquisition order;
+	// readSets maps a write target to the tables its installed trigger
+	// bodies may read (recomputed at flush); fkReads maps a write target
+	// to the tables its foreign-key validation reads (static, from the
+	// schema), which must be locked even when no trigger is installed.
+	tableLocks map[string]*sync.RWMutex
+	lockOrder  []string
+	readSets   map[string][]string
+	fkReads    map[string][]string
+
+	// Batch-firing state, mutated only while all table locks are held.
+	batchEpoch int64
+	batchSeen  map[string]bool
+
+	fires   atomic.Int64
+	actsRun atomic.Int64
 }
 
 // TriggerInfo is one registered XML trigger.
@@ -114,10 +148,14 @@ type group struct {
 	members map[string]*TriggerInfo
 	order   []string
 	// built at flush:
-	plans []*installedPlan
+	built    bool
+	plans    []*installedPlan
+	sqlNames []string
 }
 
-// installedPlan is one compiled SQL-trigger body.
+// installedPlan is one compiled SQL-trigger body. Everything reachable
+// from a plan is immutable after flush (member/arg maps are snapshots),
+// so firings may run without the metadata lock.
 type installedPlan struct {
 	table      string
 	an         *affected.ANGraph
@@ -125,18 +163,139 @@ type installedPlan struct {
 	trigIDsCol int                    // -1 for ungrouped plans
 	trigID     string                 // ungrouped: the single owner
 	args       map[string][]xqgm.Expr // trigID -> compiled action args
+	members    map[string]*TriggerInfo
 	sqlText    string
+
+	// batchRoot/batchAN, when set, replace root/an for batched firings
+	// that touched more than one table: the GROUPED-AGG old-aggregate
+	// derivation (§5.2) is only sound for single-table deltas.
+	batchRoot *xqgm.Operator
+	batchAN   *affected.ANGraph
+
+	// lastBatch dedups plan evaluation within one Tx.Commit (the same
+	// plan is shared by this table's INSERT/UPDATE/DELETE triggers).
+	lastBatch int64
 }
 
 // NewEngine creates an engine over db using the given translation mode.
 func NewEngine(db *reldb.DB, mode Mode) *Engine {
-	return &Engine{
-		db:       db,
-		comp:     compile.New(db.Schema()),
-		mode:     mode,
-		actions:  map[string]ActionFunc{},
-		triggers: map[string]*TriggerInfo{},
-		groups:   map[string]*group{},
+	e := &Engine{
+		db:          db,
+		comp:        compile.New(db.Schema()),
+		mode:        mode,
+		triggers:    map[string]*TriggerInfo{},
+		groups:      map[string]*group{},
+		dirtyGroups: map[string]bool{},
+		tableLocks:  map[string]*sync.RWMutex{},
+		readSets:    map[string][]string{},
+	}
+	acts := map[string]ActionFunc{}
+	e.actions.Store(&acts)
+	e.fkReads = map[string][]string{}
+	for _, t := range db.Schema().Tables() {
+		e.tableLocks[t.Name] = &sync.RWMutex{}
+		e.lockOrder = append(e.lockOrder, t.Name)
+		for _, fk := range t.ForeignKeys {
+			e.fkReads[t.Name] = append(e.fkReads[t.Name], fk.RefTable)
+		}
+	}
+	sort.Strings(e.lockOrder)
+	return e
+}
+
+// acquireLocks takes the listed table locks in global name order (write
+// wins when a table is in both sets) and returns the release function.
+func (e *Engine) acquireLocks(write, read map[string]bool) func() {
+	held := make([]func(), 0, len(write)+len(read))
+	for _, t := range e.lockOrder {
+		l := e.tableLocks[t]
+		switch {
+		case write[t]:
+			l.Lock()
+			held = append(held, l.Unlock)
+		case read[t]:
+			l.RLock()
+			held = append(held, l.RUnlock)
+		}
+	}
+	return func() {
+		for i := len(held) - 1; i >= 0; i-- {
+			held[i]()
+		}
+	}
+}
+
+// lockForWrite locks one statement's footprint: the target table for
+// writing plus the tables its installed trigger bodies read and the
+// tables foreign-key validation may scan (reldb.checkFK reads the
+// referenced table's rows even when no trigger is installed on it).
+func (e *Engine) lockForWrite(table string) func() {
+	e.mu.RLock()
+	write := map[string]bool{table: true}
+	read := map[string]bool{}
+	for _, r := range e.readSets[table] {
+		if !write[r] {
+			read[r] = true
+		}
+	}
+	for _, r := range e.fkReads[table] {
+		if !write[r] {
+			read[r] = true
+		}
+	}
+	unlock := e.acquireLocks(write, read)
+	e.mu.RUnlock()
+	return unlock
+}
+
+// lockAllForWrite write-locks every table (used by Batch, whose write
+// footprint is unknown until the callback runs).
+func (e *Engine) lockAllForWrite() func() {
+	e.mu.RLock()
+	unlock := e.acquireLocks(allOf(e.lockOrder), nil)
+	e.mu.RUnlock()
+	return unlock
+}
+
+// recomputeReadSets derives, per write-target table, the union of tables
+// any installed trigger body on that table may read.
+func (e *Engine) recomputeReadSets() {
+	rs := map[string]map[string]bool{}
+	add := func(target string, tables []string) {
+		m, ok := rs[target]
+		if !ok {
+			m = map[string]bool{}
+			rs[target] = m
+		}
+		for _, t := range tables {
+			m[t] = true
+		}
+	}
+	for _, sig := range e.order {
+		g := e.groups[sig]
+		if e.mode == ModeMaterialized {
+			ts := xqgm.Tables(g.nav.Op)
+			for _, t := range ts {
+				add(t, ts)
+			}
+			continue
+		}
+		for _, p := range g.plans {
+			ts := xqgm.Tables(p.root)
+			if p.batchRoot != nil {
+				ts = append(ts, xqgm.Tables(p.batchRoot)...)
+			}
+			add(p.table, ts)
+		}
+	}
+	e.readSets = map[string][]string{}
+	for target, m := range rs {
+		out := make([]string, 0, len(m))
+		for t := range m {
+			out = append(out, t)
+		}
+		sort.Strings(out)
+		e.readSets[target] = out
 	}
 }
 
@@ -154,13 +313,28 @@ func (e *Engine) CreateView(name, src string) (*compile.ViewDef, error) {
 }
 
 // View returns a registered view.
-func (e *Engine) View(name string) (*compile.ViewDef, bool) { return e.comp.View(name) }
+func (e *Engine) View(name string) (*compile.ViewDef, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.comp.View(name)
+}
 
 // RegisterAction installs an external action function.
 func (e *Engine) RegisterAction(name string, fn ActionFunc) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.actions[name] = fn
+	old := *e.actions.Load()
+	acts := make(map[string]ActionFunc, len(old)+1)
+	for k, v := range old {
+		acts[k] = v
+	}
+	acts[name] = fn
+	e.actions.Store(&acts)
+}
+
+// action looks up a registered action without taking the metadata lock.
+func (e *Engine) action(name string) ActionFunc {
+	return (*e.actions.Load())[name]
 }
 
 // CreateTrigger parses and registers an XML trigger; installation of the
@@ -181,7 +355,7 @@ func (e *Engine) CreateTriggerSpec(spec *trigger.Spec) error {
 	if _, dup := e.triggers[spec.Name]; dup {
 		return fmt.Errorf("core: duplicate trigger %q", spec.Name)
 	}
-	if _, ok := e.actions[spec.ActionFn]; !ok {
+	if e.action(spec.ActionFn) == nil {
 		return fmt.Errorf("core: action function %q is not registered", spec.ActionFn)
 	}
 	nav, err := e.resolvePath(spec)
@@ -208,6 +382,7 @@ func (e *Engine) CreateTriggerSpec(spec *trigger.Spec) error {
 	g.order = append(g.order, spec.Name)
 	e.triggers[spec.Name] = ti
 	e.dirty = true
+	e.dirtyGroups[sig] = true
 	return nil
 }
 
@@ -230,12 +405,16 @@ func (e *Engine) DropTrigger(name string) error {
 	}
 	if len(g.members) == 0 {
 		delete(e.groups, ti.groupSig)
+		delete(e.dirtyGroups, ti.groupSig)
+		e.pendingDropSQL = append(e.pendingDropSQL, g.sqlNames...)
 		for i, s := range e.order {
 			if s == ti.groupSig {
 				e.order = append(e.order[:i], e.order[i+1:]...)
 				break
 			}
 		}
+	} else {
+		e.dirtyGroups[ti.groupSig] = true
 	}
 	e.dirty = true
 	return nil
@@ -348,8 +527,16 @@ func abstractString(ex xquery.Expr) string {
 
 // Flush builds and installs the SQL triggers for all registered XML
 // triggers (Figure 6's Event Pushdown → Affected-Node Graph Generation →
-// Trigger Grouping → Trigger Pushdown pipeline). It is idempotent.
+// Trigger Grouping → Trigger Pushdown pipeline). It is idempotent, and
+// compiled per-group plans are cached across flushes: only groups whose
+// membership changed since the last flush are rebuilt.
 func (e *Engine) Flush() error {
+	e.mu.RLock()
+	dirty := e.dirty
+	e.mu.RUnlock()
+	if !dirty {
+		return nil
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.flushLocked()
@@ -359,14 +546,25 @@ func (e *Engine) flushLocked() error {
 	if !e.dirty {
 		return nil
 	}
-	// Drop previously installed SQL triggers and rebuild.
-	for _, n := range e.sqlNames {
+	// Installing/dropping SQL triggers mutates structures the write path
+	// iterates, so DDL excludes all in-flight statements.
+	unlock := e.acquireLocks(allOf(e.lockOrder), nil)
+	defer unlock()
+
+	for _, n := range e.pendingDropSQL {
 		_ = e.db.DropTrigger(n)
 	}
-	e.sqlNames = nil
+	e.pendingDropSQL = nil
 
 	for _, sig := range e.order {
 		g := e.groups[sig]
+		if g.built && !e.dirtyGroups[sig] {
+			continue
+		}
+		for _, n := range g.sqlNames {
+			_ = e.db.DropTrigger(n)
+		}
+		g.sqlNames = nil
 		var err error
 		if e.mode == ModeMaterialized {
 			err = e.buildMaterialized(g)
@@ -376,9 +574,20 @@ func (e *Engine) flushLocked() error {
 		if err != nil {
 			return fmt.Errorf("core: building trigger group %q: %w", sig, err)
 		}
+		g.built = true
 	}
+	e.dirtyGroups = map[string]bool{}
+	e.recomputeReadSets()
 	e.dirty = false
 	return nil
+}
+
+func allOf(names []string) map[string]bool {
+	out := make(map[string]bool, len(names))
+	for _, n := range names {
+		out[n] = true
+	}
+	return out
 }
 
 // buildGroup compiles and installs the plans for one trigger group.
@@ -394,14 +603,26 @@ func (e *Engine) buildGroup(g *group) error {
 		tables[te.Table] = append(tables[te.Table], te.Event)
 	}
 
+	// Immutable membership snapshot shared by this build's plans: firings
+	// run without the metadata lock, so they must not read g.members,
+	// which CreateTrigger/DropTrigger mutate.
+	members := make(map[string]*TriggerInfo, len(g.members))
+	for name, ti := range g.members {
+		members[name] = ti
+	}
+
 	first := g.members[g.order[0]]
 	for _, table := range tableOrder {
 		plan, err := e.buildTablePlan(g, first, table)
 		if err != nil {
 			return err
 		}
+		plan.members = members
 		g.plans = append(g.plans, plan)
 		e.ensureIndexes(plan.root)
+		if plan.batchRoot != nil {
+			e.ensureIndexes(plan.batchRoot)
+		}
 		for _, relEv := range tables[table] {
 			e.sqlSeq++
 			name := fmt.Sprintf("xmlTrig_%d", e.sqlSeq)
@@ -412,7 +633,7 @@ func (e *Engine) buildGroup(g *group) error {
 			}); err != nil {
 				return err
 			}
-			e.sqlNames = append(e.sqlNames, name)
+			g.sqlNames = append(g.sqlNames, name)
 		}
 	}
 	return nil
@@ -448,8 +669,14 @@ func (e *Engine) buildTablePlan(g *group, first *TriggerInfo, table string) (*in
 
 	// GROUPED-AGG: rebuild the ANGraph with the Section 5.2 optimization
 	// when it is sound (injective view, OLD_NODE content unused). The
-	// layout is unchanged by these options.
+	// layout is unchanged by these options. The unoptimized graph is kept
+	// as the batch fallback: deriving old aggregates from new values and
+	// one table's transition tables is only correct when that table is the
+	// sole change, so commits that touched several tables evaluate the
+	// plain graph instead.
+	var anPlain *affected.ANGraph
 	if e.mode == ModeGroupedAgg {
+		anPlain = an
 		oldContent := tcc.oldContentUsed || e.actionUsesOldContent(g, layout)
 		opts.OldAggDelta = true
 		if injective && !oldContent {
@@ -466,6 +693,9 @@ func (e *Engine) buildTablePlan(g *group, first *TriggerInfo, table string) (*in
 			if err != nil {
 				return nil, err
 			}
+		}
+		if anPlain.Root.OutWidth() != an.Root.OutWidth() {
+			return nil, fmt.Errorf("core: internal error: GROUPED-AGG layout differs from plain layout")
 		}
 	}
 
@@ -507,6 +737,14 @@ func (e *Engine) buildTablePlan(g *group, first *TriggerInfo, table string) (*in
 	gp := grouping.BuildGroupedPlan(gg, an.Root)
 	plan.root = gp.Root
 	plan.trigIDsCol = gp.TrigIDsCol
+	if anPlain != nil {
+		bp := grouping.BuildGroupedPlan(gg, anPlain.Root)
+		if bp.TrigIDsCol != gp.TrigIDsCol {
+			return nil, fmt.Errorf("core: internal error: batch fallback plan layout differs")
+		}
+		plan.batchRoot = bp.Root
+		plan.batchAN = anPlain
+	}
 	for _, name := range g.order {
 		ti := g.members[name]
 		args, err := e.compileArgs(g, ti, layout)
@@ -553,13 +791,53 @@ func (e *Engine) compileArgs(g *group, ti *TriggerInfo, layout Layout) ([]xqgm.E
 
 // fire is the body of an installed SQL trigger: evaluate the plan over the
 // transition tables, tag results, and activate the member triggers.
+//
+// Batched firings (Tx.Commit) evaluate the plan once per commit with the
+// transaction's net deltas for every touched table, so N statements on a
+// table cost one plan evaluation instead of N. Because each touched
+// table's plan seeds affected keys from its own transition tables, plans
+// of the same group can discover the same affected node when a commit
+// touched several tables; the per-commit activation set dedups those.
 func (e *Engine) fire(g *group, plan *installedPlan, ctx *reldb.FireContext) error {
-	e.fires++
+	if ctx.Batch != nil {
+		return e.fireBatch(g, plan, ctx)
+	}
+	e.fires.Add(1)
 	deltas := map[string]*xqgm.Transition{
 		ctx.Table: {Inserted: ctx.Inserted, Deleted: ctx.Deleted},
 	}
+	return e.activate(g, plan, plan.root, plan.an, deltas, nil)
+}
+
+// fireBatch runs the plan once for a whole committed transaction.
+// plan.lastBatch, e.batchEpoch, and e.batchSeen are only touched here,
+// while the committing goroutine holds every table's write lock.
+func (e *Engine) fireBatch(g *group, plan *installedPlan, ctx *reldb.FireContext) error {
+	if plan.lastBatch == ctx.Batch.Seq {
+		return nil // another event of the same commit already ran this plan
+	}
+	plan.lastBatch = ctx.Batch.Seq
+	if e.batchEpoch != ctx.Batch.Seq {
+		e.batchEpoch = ctx.Batch.Seq
+		e.batchSeen = map[string]bool{}
+	}
+	e.fires.Add(1)
+	deltas := make(map[string]*xqgm.Transition, len(ctx.Batch.Deltas))
+	for t, nd := range ctx.Batch.Deltas {
+		deltas[t] = &xqgm.Transition{Inserted: nd.Inserted, Deleted: nd.Deleted}
+	}
+	root, an := plan.root, plan.an
+	if len(deltas) > 1 && plan.batchRoot != nil {
+		root, an = plan.batchRoot, plan.batchAN
+	}
+	return e.activate(g, plan, root, an, deltas, e.batchSeen)
+}
+
+// activate evaluates a trigger plan and invokes the member actions; seen,
+// when non-nil, dedups activations across the plans of one commit.
+func (e *Engine) activate(g *group, plan *installedPlan, root *xqgm.Operator, an *affected.ANGraph, deltas map[string]*xqgm.Transition, seen map[string]bool) error {
 	ectx := xqgm.NewEvalContext(e.db, deltas)
-	rows, err := ectx.Eval(plan.root)
+	rows, err := ectx.Eval(root)
 	if err != nil {
 		return err
 	}
@@ -584,12 +862,19 @@ func (e *Engine) fire(g *group, plan *installedPlan, ctx *reldb.FireContext) err
 		} else {
 			ids = []string{plan.trigID}
 		}
-		oldNode := row[plan.an.OldCol(g.nav.NodeCol)].AsNode()
-		newNode := row[plan.an.NewCol(g.nav.NodeCol)].AsNode()
+		oldNode := row[an.OldCol(g.nav.NodeCol)].AsNode()
+		newNode := row[an.NewCol(g.nav.NodeCol)].AsNode()
 		for _, id := range ids {
-			ti, ok := g.members[id]
+			ti, ok := plan.members[id]
 			if !ok {
 				continue
+			}
+			if seen != nil {
+				k := activationKey(g, an, row, id)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
 			}
 			argExprs := plan.args[id]
 			args := make([]xdm.Value, len(argExprs))
@@ -601,8 +886,8 @@ func (e *Engine) fire(g *group, plan *installedPlan, ctx *reldb.FireContext) err
 				}
 				args[i] = v
 			}
-			fn := e.actions[ti.Spec.ActionFn]
-			e.actsRun++
+			fn := e.action(ti.Spec.ActionFn)
+			e.actsRun.Add(1)
 			if err := fn(Invocation{
 				Trigger: id,
 				Event:   g.event,
@@ -615,6 +900,19 @@ func (e *Engine) fire(g *group, plan *installedPlan, ctx *reldb.FireContext) err
 		}
 	}
 	return nil
+}
+
+// activationKey identifies one (trigger, affected node) activation within
+// a commit: the member plus the node's canonical key on both sides.
+func activationKey(g *group, an *affected.ANGraph, row xqgm.Tuple, id string) string {
+	ks := make([]xdm.Value, 0, 2*len(g.nav.KeyCols))
+	for _, kc := range g.nav.KeyCols {
+		ks = append(ks, row[an.NewCol(kc)])
+	}
+	for _, kc := range g.nav.KeyCols {
+		ks = append(ks, row[an.OldCol(kc)])
+	}
+	return g.sig + "\x00" + id + "\x00" + xdm.TupleKey(ks)
 }
 
 // ensureIndexes creates hash indexes on base-table columns used as
@@ -653,22 +951,22 @@ func (e *Engine) indexIfBase(op *xqgm.Operator, col int) {
 
 // Stats returns engine counters.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return Stats{
 		XMLTriggers: len(e.triggers),
 		SQLTriggers: e.db.TriggerCount(),
 		Groups:      len(e.groups),
-		Fires:       e.fires,
-		Actions:     e.actsRun,
+		Fires:       e.fires.Load(),
+		Actions:     e.actsRun.Load(),
 	}
 }
 
 // SQLTexts returns the rendered SQL of all installed plans, keyed by group
 // signature and table (for inspection, like Figure 16).
 func (e *Engine) SQLTexts() map[string]string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := map[string]string{}
 	for sig, g := range e.groups {
 		for _, p := range g.plans {
@@ -678,13 +976,16 @@ func (e *Engine) SQLTexts() map[string]string {
 	return out
 }
 
-// --- statement helpers: auto-flush then delegate to the database ---
+// --- statement helpers: auto-flush, lock the statement's table
+// footprint, then delegate to the database ---
 
 // Insert flushes pending trigger builds and inserts rows.
 func (e *Engine) Insert(table string, rows ...reldb.Row) error {
 	if err := e.Flush(); err != nil {
 		return err
 	}
+	unlock := e.lockForWrite(table)
+	defer unlock()
 	return e.db.Insert(table, rows...)
 }
 
@@ -693,6 +994,8 @@ func (e *Engine) Update(table string, pred func(reldb.Row) bool, set func(reldb.
 	if err := e.Flush(); err != nil {
 		return 0, err
 	}
+	unlock := e.lockForWrite(table)
+	defer unlock()
 	return e.db.Update(table, pred, set)
 }
 
@@ -701,6 +1004,8 @@ func (e *Engine) UpdateByPK(table string, key []xdm.Value, set func(reldb.Row) r
 	if err := e.Flush(); err != nil {
 		return false, err
 	}
+	unlock := e.lockForWrite(table)
+	defer unlock()
 	return e.db.UpdateByPK(table, key, set)
 }
 
@@ -709,6 +1014,8 @@ func (e *Engine) Delete(table string, pred func(reldb.Row) bool) (int, error) {
 	if err := e.Flush(); err != nil {
 		return 0, err
 	}
+	unlock := e.lockForWrite(table)
+	defer unlock()
 	return e.db.Delete(table, pred)
 }
 
@@ -717,15 +1024,59 @@ func (e *Engine) DeleteByPK(table string, key ...xdm.Value) (bool, error) {
 	if err := e.Flush(); err != nil {
 		return false, err
 	}
+	unlock := e.lockForWrite(table)
+	defer unlock()
 	return e.db.DeleteByPK(table, key...)
 }
 
-// EvalView materializes a registered view (for inspection/examples).
+// Batch runs fn inside a batched update transaction: every mutation made
+// through the Tx applies immediately, but the translated SQL triggers
+// fire once per (table, event) at commit with the merged transition
+// tables — N statements cost one trigger activation wave instead of N.
+// If fn returns an error the transaction is rolled back and no triggers
+// fire. The whole batch runs under write locks on all tables (its write
+// footprint is unknown up front); fn must not call back into the engine.
+func (e *Engine) Batch(fn func(*reldb.Tx) error) error {
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	unlock := e.lockAllForWrite()
+	defer unlock()
+	tx := e.db.Begin()
+	finished := false
+	// A panic escaping fn must not leave half a transaction applied with
+	// no firing: roll the data back before unwinding (database/sql's
+	// contract for Tx under panic).
+	defer func() {
+		if !finished {
+			_ = tx.Rollback()
+		}
+	}()
+	if err := fn(tx); err != nil {
+		finished = true
+		if rbErr := tx.Rollback(); rbErr != nil {
+			return fmt.Errorf("%w (rollback failed: %v)", err, rbErr)
+		}
+		return err
+	}
+	finished = true
+	return tx.Commit()
+}
+
+// EvalView materializes a registered view (for inspection/examples). It
+// read-locks only the tables the view reads, so concurrent readers never
+// serialize behind each other, nor behind writers on unrelated tables.
 func (e *Engine) EvalView(name string) (*xdm.Node, error) {
+	e.mu.RLock()
 	v, ok := e.comp.View(name)
 	if !ok {
+		e.mu.RUnlock()
 		return nil, fmt.Errorf("core: unknown view %q", name)
 	}
+	read := allOf(xqgm.Tables(v.Root))
+	unlock := e.acquireLocks(nil, read)
+	e.mu.RUnlock()
+	defer unlock()
 	ectx := xqgm.NewEvalContext(e.db, nil)
 	rows, err := ectx.Eval(v.Root)
 	if err != nil {

@@ -22,11 +22,15 @@ func (e *Engine) buildMaterialized(g *group) error {
 		OldCol: func(i int) int { return vw + i },
 	}
 
-	// Per-member bound conditions and argument expressions.
+	// Per-member bound conditions and argument expressions. The member
+	// list is snapshotted here: the body runs without the metadata lock.
+	order := append([]string(nil), g.order...)
+	members := make(map[string]*TriggerInfo, len(g.members))
 	conds := map[string]xqgm.Expr{}
 	args := map[string][]xqgm.Expr{}
-	for _, name := range g.order {
+	for _, name := range order {
 		ti := g.members[name]
+		members[name] = ti
 		cc := &condCompiler{nav: g.nav, layout: layout, abstract: true}
 		if ti.Spec.Condition != nil {
 			tmpl, err := cc.compile(ti.Spec.Condition)
@@ -50,7 +54,17 @@ func (e *Engine) buildMaterialized(g *group) error {
 	state := &matState{rows: snapshot}
 
 	body := func(ctx *reldb.FireContext) error {
-		e.fires++
+		// Under a batched commit the body fires once per (table, event) of
+		// the transaction, but the first firing already sees (and diffs
+		// against) the final state; later firings of the same commit are
+		// no-ops by construction, so skip the snapshot work outright.
+		if ctx.Batch != nil {
+			if state.lastBatch == ctx.Batch.Seq {
+				return nil
+			}
+			state.lastBatch = ctx.Batch.Seq
+		}
+		e.fires.Add(1)
 		after, err := e.materializeSnapshot(g)
 		if err != nil {
 			return err
@@ -88,8 +102,8 @@ func (e *Engine) buildMaterialized(g *group) error {
 			row = append(row, p.new...)
 			row = append(row, p.old...)
 			env := &xqgm.Env{In: [2][]xdm.Value{row, nil}}
-			for _, name := range g.order {
-				ti := g.members[name]
+			for _, name := range order {
+				ti := members[name]
 				if c := conds[name]; c != nil {
 					v, err := c.Eval(env)
 					if err != nil {
@@ -107,7 +121,7 @@ func (e *Engine) buildMaterialized(g *group) error {
 					}
 					avals[i] = v
 				}
-				e.actsRun++
+				e.actsRun.Add(1)
 				inv := Invocation{
 					Trigger: name,
 					Event:   g.event,
@@ -115,7 +129,7 @@ func (e *Engine) buildMaterialized(g *group) error {
 					New:     p.new[g.nav.NodeCol].AsNode(),
 					Args:    avals,
 				}
-				if err := e.actions[ti.Spec.ActionFn](inv); err != nil {
+				if err := e.action(ti.Spec.ActionFn)(inv); err != nil {
 					return err
 				}
 			}
@@ -134,14 +148,15 @@ func (e *Engine) buildMaterialized(g *group) error {
 			}); err != nil {
 				return err
 			}
-			e.sqlNames = append(e.sqlNames, name)
+			g.sqlNames = append(g.sqlNames, name)
 		}
 	}
 	return nil
 }
 
 type matState struct {
-	rows map[string]xqgm.Tuple
+	rows      map[string]xqgm.Tuple
+	lastBatch int64
 }
 
 // materializeSnapshot evaluates the path graph and keys rows by canonical

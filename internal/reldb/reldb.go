@@ -5,12 +5,15 @@
 // the translation pipeline are installed here and fire with Δtable /
 // ∇table transition tables exactly as described in Section 2.3.
 //
-// A DB is not safe for concurrent use; the engine layer (internal/core)
-// serializes statements.
+// A DB's write path is not safe for concurrent use; the engine layer
+// (internal/core) coordinates statements with per-table read/write locks.
+// Read paths (Scan, Lookup, GetByPK, Stats) may run concurrently with each
+// other: the work counters are atomic.
 package reldb
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"quark/internal/schema"
 	"quark/internal/xdm"
@@ -64,6 +67,28 @@ type FireContext struct {
 	Inserted []Row
 	Deleted  []Row
 	Depth    int // trigger cascade depth (1 for directly fired triggers)
+	// Batch is non-nil when the firing comes from Tx.Commit: the trigger
+	// fires once for the whole transaction with the merged transition
+	// tables, and Batch carries the net per-table deltas of the entire
+	// batch (for engines that reconstruct cross-table old state).
+	Batch *BatchInfo
+}
+
+// NetDelta is the net change of one table over a whole transaction:
+// Inserted holds rows that exist after commit but not before (including
+// new versions of updated rows); Deleted holds rows that existed before
+// but not after (including old versions of updated rows).
+type NetDelta struct {
+	Inserted []Row
+	Deleted  []Row
+}
+
+// BatchInfo identifies one Tx.Commit firing wave. Seq is unique per
+// commit; Deltas maps every table the transaction touched to its net
+// change.
+type BatchInfo struct {
+	Seq    int64
+	Deltas map[string]*NetDelta
 }
 
 // SQLTrigger is a statement-level AFTER trigger. Body is the compiled
@@ -86,6 +111,34 @@ type Stats struct {
 	RowsRead     int64
 }
 
+// counters is the internal atomic mirror of Stats, safe for concurrent
+// readers (Scan/Lookup run under shared locks at the engine layer).
+type counters struct {
+	statements   atomic.Int64
+	triggerFires atomic.Int64
+	fullScans    atomic.Int64
+	indexLookups atomic.Int64
+	rowsRead     atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Statements:   c.statements.Load(),
+		TriggerFires: c.triggerFires.Load(),
+		FullScans:    c.fullScans.Load(),
+		IndexLookups: c.indexLookups.Load(),
+		RowsRead:     c.rowsRead.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.statements.Store(0)
+	c.triggerFires.Store(0)
+	c.fullScans.Store(0)
+	c.indexLookups.Store(0)
+	c.rowsRead.Store(0)
+}
+
 // maxTriggerDepth bounds trigger cascades, mirroring DB2's limit of 16.
 const maxTriggerDepth = 16
 
@@ -100,6 +153,13 @@ type tableData struct {
 	rows    map[string]Row
 	indexes map[string]*index // column name -> secondary index
 	autoID  int64             // synthetic rowid for tables without PK
+	// fireDepth guards against runaway trigger cascades on this table.
+	// Per-table counters keep concurrent statements on disjoint tables
+	// (legal under the engine's per-table locks) from counting toward
+	// each other's cascade budget; same-table writers are serialized by
+	// the engine, and a cross-table cascade loop still grows every
+	// counter it revisits, so the bound still trips.
+	fireDepth atomic.Int32
 }
 
 // DB is an in-memory relational database instance over a fixed schema.
@@ -109,8 +169,13 @@ type DB struct {
 	triggers   []*SQLTrigger
 	byName     map[string]*SQLTrigger
 	enforceFKs bool
-	stats      Stats
-	fireDepth  int
+	stats      counters
+	batchSeq   atomic.Int64
+	// nesting reports overall cascade depth in FireContext.Depth. Under
+	// concurrent statements (disjoint tables) it over-counts by the
+	// number of in-flight firings — informational only; the cascade
+	// LIMIT uses the per-table counters, which concurrency cannot trip.
+	nesting atomic.Int32
 }
 
 // Open creates an empty database for the schema. Primary-key columns of
@@ -154,10 +219,10 @@ func (db *DB) Schema() *schema.Schema { return db.schema }
 func (db *DB) SetEnforceFKs(on bool) { db.enforceFKs = on }
 
 // Stats returns a copy of the engine counters.
-func (db *DB) Stats() Stats { return db.stats }
+func (db *DB) Stats() Stats { return db.stats.snapshot() }
 
 // ResetStats zeroes the engine counters.
-func (db *DB) ResetStats() { db.stats = Stats{} }
+func (db *DB) ResetStats() { db.stats.reset() }
 
 func (db *DB) table(name string) (*tableData, error) {
 	td, ok := db.tables[name]
@@ -329,109 +394,147 @@ func (td *tableData) insertKey(r Row) string {
 	return fmt.Sprintf("\x00rowid:%d", td.autoID)
 }
 
-// Insert adds rows to the table as one statement, then fires AFTER INSERT
-// triggers with Δtable = rows. The statement is all-or-nothing: primary-key
-// or type violations roll the whole statement back.
-func (db *DB) Insert(table string, rows ...Row) error {
+// keyedRow pairs a row with its storage key (the primary-key tuple key, or
+// a synthetic rowid for tables without a primary key).
+type keyedRow struct {
+	key string
+	row Row
+}
+
+// updateChange records one row rewrite: the storage keys before and after
+// (they differ when the update changes the primary key) and both versions.
+type updateChange struct {
+	oldKey, newKey string
+	old, new       Row
+}
+
+// applyInsert validates and stores rows without firing triggers.
+func (db *DB) applyInsert(table string, rows []Row) (*tableData, []keyedRow, error) {
 	td, err := db.table(table)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	// Validate first (all-or-nothing).
 	seen := map[string]bool{}
 	for _, r := range rows {
 		if err := db.validateRow(td, r); err != nil {
-			return err
+			return nil, nil, err
 		}
 		if len(td.pkIdx) > 0 {
 			k := td.pkKey(r)
 			if _, dup := td.rows[k]; dup || seen[k] {
-				return fmt.Errorf("reldb: duplicate primary key in %s: %s", table, k)
+				return nil, nil, fmt.Errorf("reldb: duplicate primary key in %s: %s", table, k)
 			}
 			seen[k] = true
 		}
 	}
-	inserted := make([]Row, 0, len(rows))
+	inserted := make([]keyedRow, 0, len(rows))
 	for _, r := range rows {
 		rc := r.Copy()
 		k := td.insertKey(rc)
 		td.rows[k] = rc
 		td.indexAdd(rc, k)
-		inserted = append(inserted, rc)
+		inserted = append(inserted, keyedRow{key: k, row: rc})
 	}
-	db.stats.Statements++
-	return db.fire(table, EvInsert, inserted, nil)
+	db.stats.statements.Add(1)
+	return td, inserted, nil
+}
+
+// Insert adds rows to the table as one statement, then fires AFTER INSERT
+// triggers with Δtable = rows. The statement is all-or-nothing: primary-key
+// or type violations roll the whole statement back.
+func (db *DB) Insert(table string, rows ...Row) error {
+	_, inserted, err := db.applyInsert(table, rows)
+	if err != nil {
+		return err
+	}
+	return db.fire(table, EvInsert, rowsOf(inserted), nil, nil)
+}
+
+func rowsOf(krs []keyedRow) []Row {
+	out := make([]Row, len(krs))
+	for i, kr := range krs {
+		out[i] = kr.row
+	}
+	return out
+}
+
+// applyDelete removes matching rows without firing triggers.
+func (db *DB) applyDelete(table string, pred func(Row) bool) ([]keyedRow, error) {
+	td, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	var removed []keyedRow
+	for k, r := range td.rows {
+		if pred(r) {
+			removed = append(removed, keyedRow{key: k, row: r})
+		}
+	}
+	for _, kr := range removed {
+		td.indexRemove(kr.row, kr.key)
+		delete(td.rows, kr.key)
+	}
+	db.stats.statements.Add(1)
+	return removed, nil
 }
 
 // Delete removes all rows matching pred as one statement and fires AFTER
 // DELETE triggers with ∇table = removed rows. Returns the removed count.
 func (db *DB) Delete(table string, pred func(Row) bool) (int, error) {
-	td, err := db.table(table)
+	removed, err := db.applyDelete(table, pred)
 	if err != nil {
 		return 0, err
 	}
-	var keys []string
-	var removed []Row
-	for k, r := range td.rows {
-		if pred(r) {
-			keys = append(keys, k)
-			removed = append(removed, r)
-		}
-	}
-	for i, k := range keys {
-		td.indexRemove(removed[i], k)
-		delete(td.rows, k)
-	}
-	db.stats.Statements++
 	if len(removed) == 0 {
 		return 0, nil
 	}
-	return len(removed), db.fire(table, EvDelete, nil, removed)
+	return len(removed), db.fire(table, EvDelete, nil, rowsOf(removed), nil)
+}
+
+// applyDeleteByPK removes one row by primary key without firing triggers.
+func (db *DB) applyDeleteByPK(table string, key []xdm.Value) (*keyedRow, error) {
+	td, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	if len(td.pkIdx) == 0 {
+		return nil, fmt.Errorf("reldb: table %s has no primary key", table)
+	}
+	k := xdm.TupleKey(key)
+	r, ok := td.rows[k]
+	db.stats.statements.Add(1)
+	if !ok {
+		return nil, nil
+	}
+	td.indexRemove(r, k)
+	delete(td.rows, k)
+	return &keyedRow{key: k, row: r}, nil
 }
 
 // DeleteByPK removes the row with the given primary key, if present.
 func (db *DB) DeleteByPK(table string, key ...xdm.Value) (bool, error) {
-	td, err := db.table(table)
-	if err != nil {
+	kr, err := db.applyDeleteByPK(table, key)
+	if err != nil || kr == nil {
 		return false, err
 	}
-	if len(td.pkIdx) == 0 {
-		return false, fmt.Errorf("reldb: table %s has no primary key", table)
-	}
-	k := xdm.TupleKey(key)
-	r, ok := td.rows[k]
-	if !ok {
-		db.stats.Statements++
-		return false, nil
-	}
-	td.indexRemove(r, k)
-	delete(td.rows, k)
-	db.stats.Statements++
-	return true, db.fire(table, EvDelete, nil, []Row{r})
+	return true, db.fire(table, EvDelete, nil, []Row{kr.row}, nil)
 }
 
-// Update rewrites all rows matching pred via set, as one statement, then
-// fires AFTER UPDATE triggers with ∇table = old rows and Δtable = new rows.
-// set must return a full replacement row (it may mutate the copy it is
-// given). Primary-key changes are permitted if they do not collide.
-func (db *DB) Update(table string, pred func(Row) bool, set func(Row) Row) (int, error) {
+// applyUpdate rewrites matching rows without firing triggers.
+func (db *DB) applyUpdate(table string, pred func(Row) bool, set func(Row) Row) ([]updateChange, error) {
 	td, err := db.table(table)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	type change struct {
-		oldKey string
-		oldRow Row
-		newRow Row
-	}
-	var changes []change
+	var changes []updateChange
 	for k, r := range td.rows {
 		if pred(r) {
 			nr := set(r.Copy())
 			if err := db.validateRow(td, nr); err != nil {
-				return 0, err
+				return nil, err
 			}
-			changes = append(changes, change{oldKey: k, oldRow: r, newRow: nr})
+			changes = append(changes, updateChange{oldKey: k, old: r, new: nr})
 		}
 	}
 	// Check PK collisions after removal of the old keys.
@@ -442,86 +545,125 @@ func (db *DB) Update(table string, pred func(Row) bool, set func(Row) Row) (int,
 		}
 		added := map[string]bool{}
 		for _, c := range changes {
-			nk := td.pkKey(c.newRow)
+			nk := td.pkKey(c.new)
 			if added[nk] {
-				return 0, fmt.Errorf("reldb: update produces duplicate primary key in %s", table)
+				return nil, fmt.Errorf("reldb: update produces duplicate primary key in %s", table)
 			}
 			if _, exists := td.rows[nk]; exists && !removed[nk] {
-				return 0, fmt.Errorf("reldb: update collides with existing primary key in %s", table)
+				return nil, fmt.Errorf("reldb: update collides with existing primary key in %s", table)
 			}
 			added[nk] = true
 		}
 	}
-	var oldRows, newRows []Row
 	for _, c := range changes {
-		td.indexRemove(c.oldRow, c.oldKey)
+		td.indexRemove(c.old, c.oldKey)
 		delete(td.rows, c.oldKey)
 	}
-	for _, c := range changes {
-		nk := td.insertKey(c.newRow)
-		td.rows[nk] = c.newRow
-		td.indexAdd(c.newRow, nk)
-		oldRows = append(oldRows, c.oldRow)
-		newRows = append(newRows, c.newRow)
+	for i := range changes {
+		// Tables without a primary key keep their synthetic rowid: the
+		// updated row is the same row, and key stability is what lets
+		// Tx coalescing classify the change as an UPDATE pair.
+		nk := changes[i].oldKey
+		if len(td.pkIdx) > 0 {
+			nk = td.pkKey(changes[i].new)
+		}
+		changes[i].newKey = nk
+		td.rows[nk] = changes[i].new
+		td.indexAdd(changes[i].new, nk)
 	}
-	db.stats.Statements++
+	db.stats.statements.Add(1)
+	return changes, nil
+}
+
+// Update rewrites all rows matching pred via set, as one statement, then
+// fires AFTER UPDATE triggers with ∇table = old rows and Δtable = new rows.
+// set must return a full replacement row (it may mutate the copy it is
+// given). Primary-key changes are permitted if they do not collide.
+func (db *DB) Update(table string, pred func(Row) bool, set func(Row) Row) (int, error) {
+	changes, err := db.applyUpdate(table, pred, set)
+	if err != nil {
+		return 0, err
+	}
 	if len(changes) == 0 {
 		return 0, nil
 	}
-	return len(changes), db.fire(table, EvUpdate, newRows, oldRows)
+	oldRows := make([]Row, len(changes))
+	newRows := make([]Row, len(changes))
+	for i, c := range changes {
+		oldRows[i], newRows[i] = c.old, c.new
+	}
+	return len(changes), db.fire(table, EvUpdate, newRows, oldRows, nil)
 }
 
-// UpdateByPK rewrites the single row with the given primary key.
-func (db *DB) UpdateByPK(table string, key []xdm.Value, set func(Row) Row) (bool, error) {
+// applyUpdateByPK rewrites one row by primary key without firing triggers.
+func (db *DB) applyUpdateByPK(table string, key []xdm.Value, set func(Row) Row) (*updateChange, error) {
 	td, err := db.table(table)
 	if err != nil {
-		return false, err
+		return nil, err
 	}
 	if len(td.pkIdx) == 0 {
-		return false, fmt.Errorf("reldb: table %s has no primary key", table)
+		return nil, fmt.Errorf("reldb: table %s has no primary key", table)
 	}
 	k := xdm.TupleKey(key)
 	old, ok := td.rows[k]
 	if !ok {
-		db.stats.Statements++
-		return false, nil
+		db.stats.statements.Add(1)
+		return nil, nil
 	}
 	nr := set(old.Copy())
 	if err := db.validateRow(td, nr); err != nil {
-		return false, err
+		return nil, err
 	}
 	nk := td.pkKey(nr)
 	if nk != k {
 		if _, exists := td.rows[nk]; exists {
-			return false, fmt.Errorf("reldb: update collides with existing primary key in %s", table)
+			return nil, fmt.Errorf("reldb: update collides with existing primary key in %s", table)
 		}
 	}
 	td.indexRemove(old, k)
 	delete(td.rows, k)
 	td.rows[nk] = nr
 	td.indexAdd(nr, nk)
-	db.stats.Statements++
-	return true, db.fire(table, EvUpdate, []Row{nr}, []Row{old})
+	db.stats.statements.Add(1)
+	return &updateChange{oldKey: k, newKey: nk, old: old, new: nr}, nil
 }
 
-func (db *DB) fire(table string, ev Event, inserted, deleted []Row) error {
-	if db.fireDepth >= maxTriggerDepth {
+// UpdateByPK rewrites the single row with the given primary key.
+func (db *DB) UpdateByPK(table string, key []xdm.Value, set func(Row) Row) (bool, error) {
+	c, err := db.applyUpdateByPK(table, key, set)
+	if err != nil || c == nil {
+		return false, err
+	}
+	return true, db.fire(table, EvUpdate, []Row{c.new}, []Row{c.old}, nil)
+}
+
+// fire activates the AFTER triggers for (table, ev). The cascade guard is
+// a per-table counter (see tableData.fireDepth).
+func (db *DB) fire(table string, ev Event, inserted, deleted []Row, batch *BatchInfo) error {
+	td, err := db.table(table)
+	if err != nil {
+		return err
+	}
+	if d := td.fireDepth.Add(1); d > maxTriggerDepth {
+		td.fireDepth.Add(-1)
 		return fmt.Errorf("reldb: trigger cascade exceeds depth %d on %s", maxTriggerDepth, table)
 	}
-	db.fireDepth++
-	defer func() { db.fireDepth-- }()
+	defer td.fireDepth.Add(-1)
+	depth := db.nesting.Add(1)
+	defer db.nesting.Add(-1)
 	for _, tr := range db.triggers {
 		if tr.Table != table || tr.Event != ev {
 			continue
 		}
-		db.stats.TriggerFires++
+		db.stats.triggerFires.Add(1)
 		ctx := &FireContext{
 			DB:       db,
 			Table:    table,
 			Event:    ev,
 			Inserted: inserted,
 			Deleted:  deleted,
-			Depth:    db.fireDepth,
+			Depth:    int(depth),
+			Batch:    batch,
 		}
 		if err := tr.Body(ctx); err != nil {
 			return fmt.Errorf("reldb: trigger %s: %w", tr.Name, err)
@@ -578,9 +720,9 @@ func (db *DB) Scan(table string, fn func(Row) bool) error {
 	if err != nil {
 		return err
 	}
-	db.stats.FullScans++
+	db.stats.fullScans.Add(1)
 	for _, r := range td.rows {
-		db.stats.RowsRead++
+		db.stats.rowsRead.Add(1)
 		if !fn(r) {
 			return nil
 		}
@@ -601,9 +743,9 @@ func (db *DB) Lookup(table, col string, v xdm.Value, fn func(Row) bool) error {
 		if ci < 0 {
 			return fmt.Errorf("reldb: table %s has no column %q", table, col)
 		}
-		db.stats.FullScans++
+		db.stats.fullScans.Add(1)
 		for _, r := range td.rows {
-			db.stats.RowsRead++
+			db.stats.rowsRead.Add(1)
 			if xdm.Equal(r[ci], v) {
 				if !fn(r) {
 					return nil
@@ -612,9 +754,9 @@ func (db *DB) Lookup(table, col string, v xdm.Value, fn func(Row) bool) error {
 		}
 		return nil
 	}
-	db.stats.IndexLookups++
+	db.stats.indexLookups.Add(1)
 	for pk := range ix.m[v.Key()] {
-		db.stats.RowsRead++
+		db.stats.rowsRead.Add(1)
 		if !fn(td.rows[pk]) {
 			return nil
 		}

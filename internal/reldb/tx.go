@@ -1,0 +1,366 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+
+	"quark/internal/xdm"
+)
+
+// Tx is a batched update transaction (paper §2.3 taken to its logical
+// conclusion: a statement-level trigger fires once per statement however
+// many rows the statement touches, so a transaction-level trigger fires
+// once per transaction with the merged transition tables). Mutations apply
+// to the database immediately — reads inside the transaction see them —
+// but trigger firing is deferred to Commit, which activates each
+// (table, event) trigger at most once with the coalesced net Δ/∇:
+//
+//   - two UPDATEs of the same row merge into one (original old, final new);
+//   - an INSERT followed by UPDATEs contributes a single Δ row (final
+//     version); an INSERT followed by DELETE contributes nothing;
+//   - a DELETE followed by a re-INSERT of the same key becomes an UPDATE;
+//   - primary-key-changing updates (including chains and swaps) stay
+//     UPDATE pairs, tracked by row identity across the moves;
+//   - updates whose net effect restores the original row are dropped.
+//
+// A Tx is not safe for concurrent use; the engine layer serializes whole
+// transactions against other writers.
+type Tx struct {
+	db *DB
+	// touched records, per table, the pre-transaction row stored under
+	// each storage key the transaction has touched (nil = key was vacant).
+	// The net transition is the diff between this snapshot and the current
+	// table contents, so coalescing across any sequence of operations and
+	// primary-key moves falls out of the bookkeeping.
+	touched map[string]map[string]Row
+	// moved tracks row identity across primary-key changes: per table,
+	// the storage key a row currently occupies -> the key it occupied at
+	// transaction start (entries exist only for rows that moved). It lets
+	// the net diff pair a moved row's pre- and post-images as an UPDATE —
+	// matching the single-statement path, which fires AFTER UPDATE for
+	// PK-changing updates — instead of reporting DELETE+INSERT.
+	moved map[string]map[string]string
+	order []string // tables in first-touch order
+	done  bool
+}
+
+// Begin starts a batched transaction.
+func (db *DB) Begin() *Tx {
+	return &Tx{db: db, touched: map[string]map[string]Row{}, moved: map[string]map[string]string{}}
+}
+
+func (tx *Tx) tableTouched(table string) map[string]Row {
+	m, ok := tx.touched[table]
+	if !ok {
+		m = map[string]Row{}
+		tx.touched[table] = m
+		tx.moved[table] = map[string]string{}
+		tx.order = append(tx.order, table)
+	}
+	return m
+}
+
+// noteMoves updates the identity chains for one statement's key-changing
+// updates. A statement's changes are simultaneous: every oldKey refers to
+// the pre-statement occupant, so origins are resolved for all changes
+// before any chain entry is rewritten (a PK swap inside one statement
+// must not read the other change's freshly installed entry).
+func (tx *Tx) noteMoves(table string, changes []updateChange) {
+	mv := tx.moved[table]
+	type entry struct{ newKey, origin string }
+	var adds []entry
+	for _, c := range changes {
+		if c.newKey == c.oldKey {
+			continue
+		}
+		origin, chained := mv[c.oldKey]
+		if !chained {
+			origin = c.oldKey
+		}
+		adds = append(adds, entry{c.newKey, origin})
+	}
+	for _, c := range changes {
+		if c.newKey != c.oldKey {
+			delete(mv, c.oldKey)
+		}
+	}
+	for _, a := range adds {
+		// Rows created inside the transaction (origin has no pre-image)
+		// need no entry: their final key diffs as vacant→row on its own.
+		if a.origin != a.newKey && tx.touched[table][a.origin] != nil {
+			mv[a.newKey] = a.origin
+		}
+	}
+}
+
+// noteFirstTouch records the pre-operation value of a storage key the first
+// time the transaction touches it. Because every change inside the
+// transaction is recorded here, "not yet touched" implies the current value
+// equals the pre-transaction value.
+func noteFirstTouch(m map[string]Row, key string, pre Row) {
+	if _, ok := m[key]; !ok {
+		m[key] = pre
+	}
+}
+
+func (tx *Tx) check() error {
+	if tx.done {
+		return fmt.Errorf("reldb: transaction already finished")
+	}
+	return nil
+}
+
+// Insert adds rows as one deferred-firing statement.
+func (tx *Tx) Insert(table string, rows ...Row) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	_, inserted, err := tx.db.applyInsert(table, rows)
+	if err != nil {
+		return err
+	}
+	m := tx.tableTouched(table)
+	for _, kr := range inserted {
+		noteFirstTouch(m, kr.key, nil)
+		delete(tx.moved[table], kr.key) // fresh row: no identity chain
+	}
+	return nil
+}
+
+// Update rewrites all rows matching pred via set; firing is deferred.
+func (tx *Tx) Update(table string, pred func(Row) bool, set func(Row) Row) (int, error) {
+	if err := tx.check(); err != nil {
+		return 0, err
+	}
+	changes, err := tx.db.applyUpdate(table, pred, set)
+	if err != nil {
+		return 0, err
+	}
+	m := tx.tableTouched(table)
+	// Record every change's old key BEFORE any new-key vacancy: in a
+	// statement that chains or swaps primary keys, another change's
+	// newKey may be this change's oldKey, and the pre-image of that key
+	// is the old row — not vacant.
+	for _, c := range changes {
+		noteFirstTouch(m, c.oldKey, c.old)
+	}
+	for _, c := range changes {
+		if c.newKey != c.oldKey {
+			// If still untouched, the key was vacant before this statement
+			// (the collision check guarantees it) and, being unrecorded,
+			// vacant at transaction start too.
+			noteFirstTouch(m, c.newKey, nil)
+		}
+	}
+	tx.noteMoves(table, changes)
+	return len(changes), nil
+}
+
+// UpdateByPK rewrites the single row with the given primary key.
+func (tx *Tx) UpdateByPK(table string, key []xdm.Value, set func(Row) Row) (bool, error) {
+	if err := tx.check(); err != nil {
+		return false, err
+	}
+	c, err := tx.db.applyUpdateByPK(table, key, set)
+	if err != nil || c == nil {
+		return false, err
+	}
+	m := tx.tableTouched(table)
+	noteFirstTouch(m, c.oldKey, c.old)
+	if c.newKey != c.oldKey {
+		noteFirstTouch(m, c.newKey, nil)
+	}
+	tx.noteMoves(table, []updateChange{*c})
+	return true, nil
+}
+
+// Delete removes all rows matching pred; firing is deferred.
+func (tx *Tx) Delete(table string, pred func(Row) bool) (int, error) {
+	if err := tx.check(); err != nil {
+		return 0, err
+	}
+	removed, err := tx.db.applyDelete(table, pred)
+	if err != nil {
+		return 0, err
+	}
+	m := tx.tableTouched(table)
+	for _, kr := range removed {
+		noteFirstTouch(m, kr.key, kr.row)
+		delete(tx.moved[table], kr.key) // the occupant is gone
+	}
+	return len(removed), nil
+}
+
+// DeleteByPK removes the row with the given primary key, if present.
+func (tx *Tx) DeleteByPK(table string, key ...xdm.Value) (bool, error) {
+	if err := tx.check(); err != nil {
+		return false, err
+	}
+	kr, err := tx.db.applyDeleteByPK(table, key)
+	if err != nil || kr == nil {
+		return false, err
+	}
+	noteFirstTouch(tx.tableTouched(table), kr.key, kr.row)
+	delete(tx.moved[table], kr.key) // the occupant is gone
+	return true, nil
+}
+
+func rowsEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !xdm.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// netChange is the coalesced per-table outcome of a transaction.
+type netChange struct {
+	ins, del       []Row
+	updOld, updNew []Row // index-aligned update pairs
+}
+
+// net computes the coalesced change of one table by diffing the
+// first-touch snapshot against the table's current contents, in sorted
+// key order for deterministic firing. The moved-identity chains pair a
+// PK-changed row's pre- and post-images as one UPDATE, so batched
+// commits fire the same event kinds as the single-statement path.
+func (tx *Tx) net(table string) netChange {
+	td := tx.db.tables[table]
+	m := tx.touched[table]
+	mv := tx.moved[table]
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var nc netChange
+	// Keys claimed as a moved row's origin: their pre-image belongs to
+	// that row (paired at its current key), not to whatever occupies the
+	// key now — a fresh insert into a vacated key must not adopt it.
+	claimed := map[string]bool{}
+	for _, origin := range mv {
+		claimed[origin] = true
+	}
+	// Pass 1: current occupants, paired with their identity's pre-image.
+	consumed := map[string]bool{} // origin keys whose pre-image was paired
+	for _, k := range keys {
+		cur, exists := td.rows[k]
+		if !exists {
+			continue
+		}
+		origin := k
+		if o, ok := mv[k]; ok {
+			origin = o
+		} else if claimed[k] {
+			origin = "" // pre-image owned by the row that moved away
+		}
+		var pre Row
+		if origin != "" {
+			pre = m[origin]
+		}
+		switch {
+		case pre == nil:
+			nc.ins = append(nc.ins, cur)
+		case origin != k || !rowsEqual(pre, cur):
+			nc.updOld = append(nc.updOld, pre)
+			nc.updNew = append(nc.updNew, cur)
+			consumed[origin] = true
+		default:
+			consumed[origin] = true // net no-op; pre-image accounted for
+		}
+	}
+	// Pass 2: pre-images whose row vanished (deleted, or displaced by a
+	// row that moved in while the original was removed).
+	for _, k := range keys {
+		pre := m[k]
+		if pre == nil || consumed[k] {
+			continue
+		}
+		if _, exists := td.rows[k]; exists {
+			if _, movedIn := mv[k]; !movedIn {
+				// The occupant is the original row; pass 1 handled it.
+				continue
+			}
+		}
+		nc.del = append(nc.del, pre)
+	}
+	return nc
+}
+
+// Commit fires the deferred triggers: for every touched table (in name
+// order) each of INSERT, UPDATE, DELETE fires at most once with the merged
+// transition tables, and every FireContext carries the transaction-wide
+// net deltas so trigger bodies can reconstruct the pre-transaction state
+// of all touched tables. Trigger errors abort the firing wave but the
+// data changes remain applied (AFTER-trigger semantics).
+func (tx *Tx) Commit() error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	tx.done = true
+	tables := append([]string(nil), tx.order...)
+	sort.Strings(tables)
+	batch := &BatchInfo{Seq: tx.db.batchSeq.Add(1), Deltas: map[string]*NetDelta{}}
+	nets := make(map[string]netChange, len(tables))
+	for _, t := range tables {
+		nc := tx.net(t)
+		if len(nc.ins)+len(nc.del)+len(nc.updOld) == 0 {
+			continue
+		}
+		nets[t] = nc
+		nd := &NetDelta{}
+		nd.Inserted = append(append(nd.Inserted, nc.ins...), nc.updNew...)
+		nd.Deleted = append(append(nd.Deleted, nc.del...), nc.updOld...)
+		batch.Deltas[t] = nd
+	}
+	for _, t := range tables {
+		nc, ok := nets[t]
+		if !ok {
+			continue
+		}
+		if len(nc.ins) > 0 {
+			if err := tx.db.fire(t, EvInsert, nc.ins, nil, batch); err != nil {
+				return err
+			}
+		}
+		if len(nc.updNew) > 0 {
+			if err := tx.db.fire(t, EvUpdate, nc.updNew, nc.updOld, batch); err != nil {
+				return err
+			}
+		}
+		if len(nc.del) > 0 {
+			if err := tx.db.fire(t, EvDelete, nil, nc.del, batch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Rollback undoes every change the transaction applied, restoring rows and
+// indexes to their pre-transaction state. No triggers fire.
+func (tx *Tx) Rollback() error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	tx.done = true
+	for _, t := range tx.order {
+		td := tx.db.tables[t]
+		for k, pre := range tx.touched[t] {
+			cur, exists := td.rows[k]
+			if exists {
+				td.indexRemove(cur, k)
+				delete(td.rows, k)
+			}
+			if pre != nil {
+				td.rows[k] = pre
+				td.indexAdd(pre, k)
+			}
+		}
+	}
+	return nil
+}

@@ -268,6 +268,46 @@ func (w *Setup) UpdateOneLeaf() error {
 	return err
 }
 
+// UpdateLeavesBatch updates leaf rows 0..k-1 (a contiguous block spanning
+// ceil(k/Fanout) top-level elements) inside ONE batched transaction: the
+// translated SQL triggers fire once at commit with the merged transition
+// tables, so per-row trigger cost amortizes with k.
+func (w *Setup) UpdateLeavesBatch(k int) error {
+	if k > w.Params.LeafTuples {
+		k = w.Params.LeafTuples
+	}
+	return w.Engine.Batch(func(tx *reldb.Tx) error {
+		for i := 0; i < k; i++ {
+			newPayload := xdm.Float(float64(50 + w.rng.Intn(200)))
+			if _, err := tx.UpdateByPK(w.LeafTable(), []xdm.Value{xdm.Int(int64(i))}, func(r reldb.Row) reldb.Row {
+				r[len(r)-1] = newPayload
+				return r
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// UpdateLeavesSingle updates the same leaf rows as UpdateLeavesBatch but
+// as k independent statements, each paying a full trigger firing.
+func (w *Setup) UpdateLeavesSingle(k int) error {
+	if k > w.Params.LeafTuples {
+		k = w.Params.LeafTuples
+	}
+	for i := 0; i < k; i++ {
+		newPayload := xdm.Float(float64(50 + w.rng.Intn(200)))
+		if _, err := w.Engine.UpdateByPK(w.LeafTable(), []xdm.Value{xdm.Int(int64(i))}, func(r reldb.Row) reldb.Row {
+			r[len(r)-1] = newPayload
+			return r
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // UpdateRandomLeaf updates a uniformly random leaf row (for data-size
 // experiments where the touched element should be arbitrary).
 func (w *Setup) UpdateRandomLeaf() error {

@@ -36,6 +36,19 @@ type EvalContext struct {
 	Stats  EvalStats
 
 	memo map[*Operator][]Tuple
+	// oldExcl caches, per table, the Δ primary-key set used to mask
+	// current rows when probing B_old; delIdx caches ∇ rows bucketed by a
+	// probe column. Both depend only on the (fixed) transition tables, and
+	// without them every SrcOld index probe would rescan Δ and ∇ — O(|Δ|)
+	// per probe, quadratic over a large batched transaction.
+	oldExcl map[string]map[string]bool
+	delIdx  map[tableCol]map[string][]reldb.Row
+}
+
+// tableCol keys the ∇-row cache without per-probe string formatting.
+type tableCol struct {
+	table string
+	col   int
 }
 
 // NewEvalContext builds an evaluation context over db. deltas may be nil
@@ -230,25 +243,13 @@ func pruneRows(a, b []reldb.Row) []reldb.Row {
 // evalOldTable reconstructs B_old = (B EXCEPT ΔB) UNION ∇B (paper §4.2).
 // With a primary key the EXCEPT is computed by key; otherwise by full row.
 func (ctx *EvalContext) evalOldTable(o *Operator, tr *Transition) ([]Tuple, error) {
-	exclude := map[string]bool{}
-	keyOf := func(r reldb.Row) string {
-		if len(o.TablePK) > 0 {
-			ks := make([]xdm.Value, len(o.TablePK))
-			for i, c := range o.TablePK {
-				ks[i] = r[c]
-			}
-			return xdm.TupleKey(ks)
-		}
-		return xdm.TupleKey(r)
-	}
-	for _, r := range tr.Inserted {
-		exclude[keyOf(r)] = true
-	}
+	exclude := ctx.oldExclFor(o.Table, o.TablePK)
 	var out []Tuple
 	err := ctx.DB.Scan(o.Table, func(r reldb.Row) bool {
-		if !exclude[keyOf(r)] {
-			out = append(out, Tuple(r))
+		if len(exclude) > 0 && exclude[pkKeyOf(r, o.TablePK)] {
+			return true
 		}
+		out = append(out, Tuple(r))
 		return true
 	})
 	if err != nil {
@@ -468,6 +469,55 @@ func (ctx *EvalContext) tryIndexJoin(o *Operator, outer, inner *Operator, ow, iw
 	return out, true, nil
 }
 
+func pkKeyOf(r reldb.Row, pk []int) string {
+	if len(pk) == 0 {
+		return xdm.TupleKey(r)
+	}
+	ks := make([]xdm.Value, len(pk))
+	for i, c := range pk {
+		ks[i] = r[c]
+	}
+	return xdm.TupleKey(ks)
+}
+
+// oldExclFor returns (building once per context) the Δ primary-key set of
+// a table, used to mask already-updated rows out of B_old probes.
+func (ctx *EvalContext) oldExclFor(table string, pk []int) map[string]bool {
+	if m, ok := ctx.oldExcl[table]; ok {
+		return m
+	}
+	tr := ctx.transition(table)
+	m := make(map[string]bool, len(tr.Inserted))
+	for _, r := range tr.Inserted {
+		m[pkKeyOf(r, pk)] = true
+	}
+	if ctx.oldExcl == nil {
+		ctx.oldExcl = map[string]map[string]bool{}
+	}
+	ctx.oldExcl[table] = m
+	return m
+}
+
+// deletedByCol returns (building once per context) the table's ∇ rows
+// bucketed by the given column's value key.
+func (ctx *EvalContext) deletedByCol(table string, col int) map[string][]reldb.Row {
+	key := tableCol{table, col}
+	if m, ok := ctx.delIdx[key]; ok {
+		return m
+	}
+	tr := ctx.transition(table)
+	m := make(map[string][]reldb.Row, len(tr.Deleted))
+	for _, r := range tr.Deleted {
+		k := r[col].Key()
+		m[k] = append(m[k], r)
+	}
+	if ctx.delIdx == nil {
+		ctx.delIdx = map[tableCol]map[string][]reldb.Row{}
+	}
+	ctx.delIdx[key] = m
+	return m
+}
+
 // lookupPath probes a base-path by index. For SrcOld it reconstructs the
 // pre-update row set on the fly: current rows whose primary key is not in
 // ΔB, plus the matching ∇B rows (paper §4.2's B_old, evaluated per probe
@@ -476,24 +526,10 @@ func (ctx *EvalContext) lookupPath(bp *basePath, probeCol string, probeVal xdm.V
 	if bp.src == SrcBase {
 		return ctx.DB.Lookup(bp.table, probeCol, probeVal, fn)
 	}
-	tr := ctx.transition(bp.table)
-	pkOf := func(r reldb.Row) string {
-		if len(bp.pk) == 0 {
-			return xdm.TupleKey(r)
-		}
-		ks := make([]xdm.Value, len(bp.pk))
-		for i, c := range bp.pk {
-			ks[i] = r[c]
-		}
-		return xdm.TupleKey(ks)
-	}
-	excl := map[string]bool{}
-	for _, r := range tr.Inserted {
-		excl[pkOf(r)] = true
-	}
+	excl := ctx.oldExclFor(bp.table, bp.pk)
 	stop := false
 	err := ctx.DB.Lookup(bp.table, probeCol, probeVal, func(r reldb.Row) bool {
-		if excl[pkOf(r)] {
+		if len(excl) > 0 && excl[pkKeyOf(r, bp.pk)] {
 			return true
 		}
 		if !fn(r) {
@@ -512,11 +548,9 @@ func (ctx *EvalContext) lookupPath(bp *basePath, probeCol string, probeVal xdm.V
 	if probeIdx < 0 {
 		return fmt.Errorf("xqgm: unknown probe column %q on %s", probeCol, bp.table)
 	}
-	for _, r := range tr.Deleted {
-		if xdm.Equal(r[probeIdx], probeVal) {
-			if !fn(r) {
-				return nil
-			}
+	for _, r := range ctx.deletedByCol(bp.table, probeIdx)[probeVal.Key()] {
+		if !fn(r) {
+			return nil
 		}
 	}
 	return nil
