@@ -16,11 +16,12 @@ import (
 	"time"
 
 	"quark/internal/core"
+	"quark/internal/dispatch"
 	"quark/internal/workload"
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "figure to regenerate: 17, 18, 22, 23, 24, batch, compile, or all")
+	figFlag     = flag.String("fig", "all", "figure to regenerate: 17, 18, 22, 23, 24, batch, dispatch, compile, or all")
 	scaleFlag   = flag.Float64("scale", 0.25, "data scale factor (1.0 = paper scale: 128K leaf tuples default)")
 	updatesFlag = flag.Int("updates", 100, "independent updates per measurement (paper: 100)")
 	maxTrigFlag = flag.Int("maxtriggers", 10000, "cap on trigger-count sweep (paper sweeps to 100,000)")
@@ -194,6 +195,76 @@ func figBatch() {
 	}
 }
 
+// figDispatch sweeps the notification sink's latency and reports the
+// writer-side cost per update (GROUPED) with actions delivered inline
+// (sync) vs through the async dispatcher (queue 1024, 8 workers, Block
+// backpressure). The async column also reports the end-to-end time to a
+// fully drained queue: the sink work does not vanish, it just stops
+// stalling the writer.
+func figDispatch() {
+	fmt.Println("\nDispatch sweep: per-update writer cost vs sink latency (GROUPED)")
+	fmt.Printf("%-14s%16s%16s%16s%16s\n", "sink latency", "sync", "async writer", "async e2e", "writer speedup")
+	burst := *updatesFlag
+	if burst > 1024 {
+		burst = 1024 // keep the burst inside the queue so writers never block
+	}
+	for _, lat := range []time.Duration{0, 100 * time.Microsecond, time.Millisecond, 5 * time.Millisecond} {
+		perUpdate := map[bool]time.Duration{}
+		var asyncE2E time.Duration
+		for _, async := range []bool{false, true} {
+			p := defaults()
+			w, err := workload.Build(p, core.ModeGrouped, 42)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			lat := lat
+			w.Engine.RegisterAction("notify", func(core.Invocation) error {
+				if lat > 0 {
+					time.Sleep(lat)
+				}
+				return nil
+			})
+			if async {
+				if err := w.Engine.EnableAsyncDispatch(dispatch.Config{
+					Workers: 8, QueueCap: 1024, Policy: dispatch.Block,
+				}); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+			if err := w.UpdateOneLeaf(); err != nil { // warm-up
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			w.Engine.Drain()
+			start := time.Now()
+			for i := 0; i < burst; i++ {
+				if err := w.UpdateOneLeaf(); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+			writer := time.Since(start)
+			if async {
+				w.Engine.Drain()
+				asyncE2E = time.Since(start) / time.Duration(burst)
+			}
+			if err := w.Engine.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			perUpdate[async] = writer / time.Duration(burst)
+		}
+		speedup := float64(perUpdate[false]) / float64(perUpdate[true])
+		fmt.Printf("%-14s%14.3fms%14.3fms%14.3fms%15.1fx\n", lat,
+			float64(perUpdate[false].Microseconds())/1000.0,
+			float64(perUpdate[true].Microseconds())/1000.0,
+			float64(asyncE2E.Microseconds())/1000.0,
+			speedup)
+	}
+}
+
 func figCompile() {
 	fmt.Println("\nTrigger compile time (paper §6: ~100 ms on 2003 hardware)")
 	p := defaults()
@@ -237,6 +308,8 @@ func main() {
 		figCompile()
 	case "batch":
 		figBatch()
+	case "dispatch":
+		figDispatch()
 	case "all":
 		fig17()
 		fig18()
@@ -244,6 +317,7 @@ func main() {
 		fig23()
 		fig24()
 		figBatch()
+		figDispatch()
 		figCompile()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)

@@ -78,7 +78,9 @@ func TestGolden(t *testing.T) {
 }
 
 // TestDifferential requires every translation mode to reproduce the
-// oracle's notification log exactly, statement-by-statement and batched.
+// oracle's notification log exactly, statement-by-statement and batched,
+// with actions delivered inline (sync) and through the async worker pool
+// (with the per-unit Drain barrier the runner inserts).
 func TestDifferential(t *testing.T) {
 	modes := []core.Mode{core.ModeUngrouped, core.ModeGrouped, core.ModeGroupedAgg}
 	for _, path := range scenarioFiles(t) {
@@ -88,20 +90,33 @@ func TestDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// The oracle depends only on the execution style's batching,
+			// not on how actions are delivered: compute it once per style.
+			oracles := map[bool]string{}
 			for _, batched := range []bool{false, true} {
-				style := "single"
-				if batched {
-					style = "batched"
-				}
 				oracle, err := Run(sc, core.ModeMaterialized, batched)
 				if err != nil {
-					t.Fatalf("oracle %s: %v", style, err)
+					t.Fatalf("oracle batched=%v: %v", batched, err)
 				}
 				if !strings.Contains(oracle, "notify ") {
-					t.Errorf("%s: oracle fired no notifications; scenario exercises nothing", style)
+					t.Errorf("batched=%v: oracle fired no notifications; scenario exercises nothing", batched)
 				}
+				oracles[batched] = oracle
+			}
+			for _, opts := range []RunOpts{
+				{Batched: false}, {Batched: true},
+				{Batched: false, Async: true}, {Batched: true, Async: true},
+			} {
+				style := "single"
+				if opts.Batched {
+					style = "batched"
+				}
+				if opts.Async {
+					style += "+async"
+				}
+				oracle := oracles[opts.Batched]
 				for _, mode := range modes {
-					got, err := Run(sc, mode, batched)
+					got, err := RunStyle(sc, mode, opts)
 					if err != nil {
 						t.Fatalf("%s/%s: %v", mode, style, err)
 					}
@@ -109,6 +124,37 @@ func TestDifferential(t *testing.T) {
 						t.Errorf("%s/%s diverges from oracle:\n%s", mode, style, diffText(oracle, got))
 					}
 				}
+			}
+		})
+	}
+}
+
+// TestGoldenAsync runs the oracle with async action dispatch and requires
+// the log to be byte-identical to the committed (synchronous) golden
+// files: the per-unit Drain barrier must fully mask the worker pool.
+func TestGoldenAsync(t *testing.T) {
+	for _, path := range scenarioFiles(t) {
+		name := scenarioName(path)
+		t.Run(name, func(t *testing.T) {
+			sc, err := ParseFile(path, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			single, err := RunStyle(sc, core.ModeMaterialized, RunOpts{Async: true})
+			if err != nil {
+				t.Fatalf("async single: %v", err)
+			}
+			batched, err := RunStyle(sc, core.ModeMaterialized, RunOpts{Batched: true, Async: true})
+			if err != nil {
+				t.Fatalf("async batched: %v", err)
+			}
+			got := "== single ==\n" + single + "== batched ==\n" + batched
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", name+".golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("async output diverges from sync golden:\n%s", diffText(string(want), got))
 			}
 		})
 	}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"quark/internal/core"
+	"quark/internal/dispatch"
 	"quark/internal/reldb"
 	"quark/internal/xdm"
 )
@@ -29,6 +31,23 @@ var errRollback = fmt.Errorf("conformance: rollback requested")
 // except OLD content, which the GROUPED-AGG mode may legitimately elide
 // when no trigger reads it (§5.2).
 func Run(sc *Scenario, mode core.Mode, batched bool) (string, error) {
+	return RunStyle(sc, mode, RunOpts{Batched: batched})
+}
+
+// RunOpts selects the execution style for RunStyle.
+type RunOpts struct {
+	// Batched runs each begin..commit block as one transaction whose
+	// triggers fire once at commit.
+	Batched bool
+	// Async delivers actions through the bounded-queue worker pool
+	// (8 workers, Block backpressure) with a Drain barrier after every
+	// unit, so the log must come out byte-identical to synchronous mode.
+	Async bool
+}
+
+// RunStyle executes the scenario's script in the given translation mode
+// and style; see Run.
+func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
 	db, err := reldb.Open(sc.Schema)
 	if err != nil {
 		return "", err
@@ -39,7 +58,19 @@ func Run(sc *Scenario, mode core.Mode, batched bool) (string, error) {
 		}
 	}
 	e := core.NewEngine(db, mode)
+	if opts.Async {
+		if err := e.EnableAsyncDispatch(dispatch.Config{
+			Workers: 8, QueueCap: 1024, Policy: dispatch.Block,
+		}); err != nil {
+			return "", err
+		}
+		defer func() { _ = e.Close() }()
+	}
 
+	// unitMu guards unit: in async style notifications append from worker
+	// goroutines (the per-unit Drain barrier below makes the log content
+	// identical to synchronous mode).
+	var unitMu sync.Mutex
 	var unit []string
 	e.RegisterAction("notify", func(inv core.Invocation) error {
 		args := make([]string, len(inv.Args))
@@ -50,8 +81,10 @@ func Run(sc *Scenario, mode core.Mode, batched bool) (string, error) {
 		if inv.New != nil {
 			newXML = inv.New.Serialize(false)
 		}
+		unitMu.Lock()
 		unit = append(unit, fmt.Sprintf("notify %s %s args=(%s) new=%s",
 			inv.Trigger, inv.Event, strings.Join(args, "; "), newXML))
+		unitMu.Unlock()
 		return nil
 	})
 	for _, v := range sc.Views {
@@ -70,6 +103,9 @@ func Run(sc *Scenario, mode core.Mode, batched bool) (string, error) {
 
 	var out strings.Builder
 	endUnit := func(label string) {
+		e.Drain() // async barrier: attribute every delivery to its unit
+		unitMu.Lock()
+		defer unitMu.Unlock()
 		fmt.Fprintf(&out, "-- %s\n", label)
 		sort.Strings(unit)
 		for _, n := range unit {
@@ -106,9 +142,9 @@ func Run(sc *Scenario, mode core.Mode, batched bool) (string, error) {
 		rollback := sc.Script[j].Kind == StRollback
 		label := fmt.Sprintf("begin..%s [%d stmts]", sc.Script[j].Text, len(block))
 		switch {
-		case !batched && rollback:
+		case !opts.Batched && rollback:
 			// Rolled back: net effect is nothing in either style.
-		case !batched:
+		case !opts.Batched:
 			for _, bs := range block {
 				if err := sc.execStmt(e, bs); err != nil {
 					return "", fmt.Errorf("%s: %w", bs.Text, err)

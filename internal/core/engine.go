@@ -23,6 +23,7 @@ import (
 
 	"quark/internal/affected"
 	"quark/internal/compile"
+	"quark/internal/dispatch"
 	"quark/internal/events"
 	"quark/internal/grouping"
 	"quark/internal/reldb"
@@ -71,13 +72,17 @@ type Invocation struct {
 // action is a call to an external function").
 type ActionFunc func(inv Invocation) error
 
-// Stats reports engine state and activity.
+// Stats reports engine state and activity. Async and Dispatch are only
+// meaningful after EnableAsyncDispatch: Dispatch carries the dispatcher's
+// queue counters (enqueued, completed, dropped, max depth, action errors).
 type Stats struct {
 	XMLTriggers int
 	SQLTriggers int
 	Groups      int
 	Fires       int64
 	Actions     int64
+	Async       bool
+	Dispatch    dispatch.Stats
 }
 
 // Engine ties the pipeline together over one relational database.
@@ -91,9 +96,15 @@ type Stats struct {
 // readers therefore never serialize behind each other, and only
 // serialize behind writers that touch overlapping tables. Lock
 // acquisition always follows the global table-name order, which makes
-// cycles (and hence deadlocks) impossible. Action callbacks run while
-// the firing statement's locks are held and must not call back into the
-// engine.
+// cycles (and hence deadlocks) impossible.
+//
+// Action delivery: by default (synchronous mode) action callbacks run
+// inline while the firing statement's locks are held. After
+// EnableAsyncDispatch, trigger *detection* still runs inline under the
+// statement's locks, but the action callbacks are handed to a bounded
+// worker pool (internal/dispatch) with per-trigger FIFO ordering, so a
+// slow sink no longer stalls the writer. In either mode action callbacks
+// must not call back into the engine.
 type Engine struct {
 	mu   sync.RWMutex
 	db   *reldb.DB
@@ -124,9 +135,10 @@ type Engine struct {
 	readSets   map[string][]string
 	fkReads    map[string][]string
 
-	// Batch-firing state, mutated only while all table locks are held.
-	batchEpoch int64
-	batchSeen  map[string]bool
+	// dispatcher, when non-nil, runs action callbacks asynchronously; nil
+	// means inline (synchronous) delivery with identical semantics to the
+	// pre-dispatch engine.
+	dispatcher atomic.Pointer[dispatch.Dispatcher]
 
 	fires   atomic.Int64
 	actsRun atomic.Int64
@@ -232,20 +244,30 @@ func (e *Engine) acquireLocks(write, read map[string]bool) func() {
 func (e *Engine) lockForWrite(table string) func() {
 	e.mu.RLock()
 	write := map[string]bool{table: true}
-	read := map[string]bool{}
-	for _, r := range e.readSets[table] {
-		if !write[r] {
-			read[r] = true
-		}
-	}
-	for _, r := range e.fkReads[table] {
-		if !write[r] {
-			read[r] = true
-		}
-	}
-	unlock := e.acquireLocks(write, read)
+	unlock := e.acquireLocks(write, e.readFootprint(write))
 	e.mu.RUnlock()
 	return unlock
+}
+
+// readFootprint derives the read-lock set for a statement or batch that
+// writes the given tables: everything the installed trigger bodies on
+// those tables may read, plus the tables their foreign-key validation
+// scans, minus the write set itself. Caller holds e.mu.
+func (e *Engine) readFootprint(write map[string]bool) map[string]bool {
+	read := map[string]bool{}
+	for t := range write {
+		for _, r := range e.readSets[t] {
+			if !write[r] {
+				read[r] = true
+			}
+		}
+		for _, r := range e.fkReads[t] {
+			if !write[r] {
+				read[r] = true
+			}
+		}
+	}
+	return read
 }
 
 // lockAllForWrite write-locks every table (used by Batch, whose write
@@ -337,6 +359,92 @@ func (e *Engine) action(name string) ActionFunc {
 	return (*e.actions.Load())[name]
 }
 
+// EnableAsyncDispatch switches action delivery to a bounded-queue worker
+// pool: trigger detection keeps running inline under the firing
+// statement's locks, but each activation is enqueued as a delivery
+// (per-trigger FIFO; distinct triggers fan out across workers) instead of
+// invoked inline. cfg selects the queue capacity, worker count, and the
+// backpressure policy applied to writers when the queue is full. Call
+// Drain to wait for all queued deliveries (a barrier, e.g. before
+// asserting on side effects) and Close to shut the pool down. Returns an
+// error if async dispatch is already enabled.
+func (e *Engine) EnableAsyncDispatch(cfg dispatch.Config) error {
+	d := dispatch.New(cfg)
+	if !e.dispatcher.CompareAndSwap(nil, d) {
+		_ = d.Close() // lost the race: stop the freshly started pool
+		return fmt.Errorf("core: async dispatch already enabled")
+	}
+	return nil
+}
+
+// AsyncDispatch reports whether async delivery is enabled.
+func (e *Engine) AsyncDispatch() bool { return e.dispatcher.Load() != nil }
+
+// Drain blocks until every queued async delivery has completed; it is a
+// no-op in synchronous mode. With a quiesced writer side, the engine's
+// observable side effects after Drain are identical to synchronous mode.
+func (e *Engine) Drain() {
+	if d := e.dispatcher.Load(); d != nil {
+		d.Drain()
+	}
+}
+
+// Close drains and stops the async dispatcher, reverting the engine to
+// inline delivery. The dispatcher is closed *before* the engine reverts
+// to inline mode, so a statement racing with Close either enqueues (and
+// its delivery drains), observes a delivery rejection (ErrClosed) as its
+// statement error, or — once the pool has fully drained and stopped —
+// delivers inline; per-trigger exclusivity is never violated. Safe to
+// call on a synchronous engine; idempotent.
+func (e *Engine) Close() error {
+	d := e.dispatcher.Load()
+	if d == nil {
+		return nil
+	}
+	err := d.Close() // blocks until queued deliveries drain and workers exit
+	e.dispatcher.CompareAndSwap(d, nil)
+	return err
+}
+
+// TriggerDispatchStats returns the per-trigger delivery counters of the
+// async dispatcher (zero values and false in synchronous mode or for
+// triggers that never had a delivery).
+func (e *Engine) TriggerDispatchStats(name string) (dispatch.LaneStats, bool) {
+	if d := e.dispatcher.Load(); d != nil {
+		return d.TriggerStats(name)
+	}
+	return dispatch.LaneStats{}, false
+}
+
+// deliver hands one activation to the action function: inline in
+// synchronous mode (errors abort the firing statement, AFTER-trigger
+// style), or enqueued on the dispatcher in async mode. The Invocation is
+// an immutable snapshot — node bindings and argument values are
+// materialized XDM values, so workers never touch live engine or database
+// state. Async action errors cannot reach the writer (its statement
+// already returned); they are counted by the dispatcher and reported to
+// its OnError hook. Enqueue errors (Error-policy backpressure, closed
+// dispatcher) do surface to the writer.
+func (e *Engine) deliver(fnName string, inv Invocation) error {
+	fn := e.action(fnName)
+	d := e.dispatcher.Load()
+	if d == nil {
+		e.actsRun.Add(1)
+		if err := fn(inv); err != nil {
+			return fmt.Errorf("core: action %s of trigger %s: %w", fnName, inv.Trigger, err)
+		}
+		return nil
+	}
+	err := d.Enqueue(dispatch.Delivery{Trigger: inv.Trigger, Run: func() error {
+		e.actsRun.Add(1)
+		return fn(inv)
+	}})
+	if err != nil {
+		return fmt.Errorf("core: dispatching action %s of trigger %s: %w", fnName, inv.Trigger, err)
+	}
+	return nil
+}
+
 // CreateTrigger parses and registers an XML trigger; installation of the
 // translated SQL triggers is deferred until Flush (or the next statement
 // through the engine's Exec helpers).
@@ -386,10 +494,41 @@ func (e *Engine) CreateTriggerSpec(spec *trigger.Spec) error {
 	return nil
 }
 
-// DropTrigger removes an XML trigger.
+// DropTrigger removes an XML trigger. With async dispatch enabled it also
+// rebuilds the installed SQL triggers immediately (Flush semantics) and
+// then drains the trigger's delivery lane: deliveries already enqueued
+// for the dropped trigger complete before DropTrigger returns, and the
+// lane's bookkeeping is released. The immediate flush matters for the
+// drain: it runs under every table's write lock, so it both waits out
+// in-flight statements that could still fire the old plans and uninstalls
+// those plans, guaranteeing nothing can enqueue to the drained lane
+// afterwards. (In synchronous mode the rebuild stays deferred to the next
+// Flush, as before.)
 func (e *Engine) DropTrigger(name string) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	err := e.dropTriggerLocked(name)
+	d := e.dispatcher.Load()
+	var flushErr error
+	if err == nil && d != nil {
+		flushErr = e.flushLocked()
+	}
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if d != nil {
+		// Drain outside the metadata lock: lane deliveries may take
+		// arbitrary time, and concurrent engine API calls must not queue
+		// up behind the drop. The drain runs even when the flush failed —
+		// the trigger is already unregistered, so the lane must still be
+		// released (the flush error is surfaced afterwards, and the next
+		// statement will retry the rebuild).
+		d.DrainTrigger(name)
+	}
+	return flushErr
+}
+
+func (e *Engine) dropTriggerLocked(name string) error {
 	ti, ok := e.triggers[name]
 	if !ok {
 		return fmt.Errorf("core: no trigger %q", name)
@@ -810,17 +949,16 @@ func (e *Engine) fire(g *group, plan *installedPlan, ctx *reldb.FireContext) err
 }
 
 // fireBatch runs the plan once for a whole committed transaction.
-// plan.lastBatch, e.batchEpoch, and e.batchSeen are only touched here,
-// while the committing goroutine holds every table's write lock.
+// plan.lastBatch is only touched here, while the committing goroutine
+// holds the plan's table write lock (a plan fires only from statements on
+// its own table, so concurrent disjoint BatchTables commits touch
+// disjoint plans). The per-commit activation dedup state rides on the
+// commit's BatchInfo, so its lifetime is exactly the commit's.
 func (e *Engine) fireBatch(g *group, plan *installedPlan, ctx *reldb.FireContext) error {
 	if plan.lastBatch == ctx.Batch.Seq {
 		return nil // another event of the same commit already ran this plan
 	}
 	plan.lastBatch = ctx.Batch.Seq
-	if e.batchEpoch != ctx.Batch.Seq {
-		e.batchEpoch = ctx.Batch.Seq
-		e.batchSeen = map[string]bool{}
-	}
 	e.fires.Add(1)
 	deltas := make(map[string]*xqgm.Transition, len(ctx.Batch.Deltas))
 	for t, nd := range ctx.Batch.Deltas {
@@ -830,7 +968,20 @@ func (e *Engine) fireBatch(g *group, plan *installedPlan, ctx *reldb.FireContext
 	if len(deltas) > 1 && plan.batchRoot != nil {
 		root, an = plan.batchRoot, plan.batchAN
 	}
-	return e.activate(g, plan, root, an, deltas, e.batchSeen)
+	return e.activate(g, plan, root, an, deltas, batchSeen(ctx.Batch))
+}
+
+// batchSeen returns the commit's activation dedup set, creating it on
+// first use and caching it on the BatchInfo (all firing waves of one
+// commit share the BatchInfo and run on the committing goroutine, so no
+// locking is needed and the state is collected with the commit).
+func batchSeen(b *reldb.BatchInfo) map[string]bool {
+	if seen, ok := b.EngineState.(map[string]bool); ok {
+		return seen
+	}
+	seen := map[string]bool{}
+	b.EngineState = seen
+	return seen
 }
 
 // activate evaluates a trigger plan and invokes the member actions; seen,
@@ -886,16 +1037,14 @@ func (e *Engine) activate(g *group, plan *installedPlan, root *xqgm.Operator, an
 				}
 				args[i] = v
 			}
-			fn := e.action(ti.Spec.ActionFn)
-			e.actsRun.Add(1)
-			if err := fn(Invocation{
+			if err := e.deliver(ti.Spec.ActionFn, Invocation{
 				Trigger: id,
 				Event:   g.event,
 				Old:     oldNode,
 				New:     newNode,
 				Args:    args,
 			}); err != nil {
-				return fmt.Errorf("core: action %s of trigger %s: %w", ti.Spec.ActionFn, id, err)
+				return err
 			}
 		}
 	}
@@ -949,17 +1098,23 @@ func (e *Engine) indexIfBase(op *xqgm.Operator, col int) {
 	}
 }
 
-// Stats returns engine counters.
+// Stats returns engine counters, including the async dispatcher's queue
+// counters when async dispatch is enabled.
 func (e *Engine) Stats() Stats {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return Stats{
+	st := Stats{
 		XMLTriggers: len(e.triggers),
 		SQLTriggers: e.db.TriggerCount(),
 		Groups:      len(e.groups),
 		Fires:       e.fires.Load(),
 		Actions:     e.actsRun.Load(),
 	}
+	e.mu.RUnlock()
+	if d := e.dispatcher.Load(); d != nil {
+		st.Async = true
+		st.Dispatch = d.Stats()
+	}
+	return st
 }
 
 // SQLTexts returns the rendered SQL of all installed plans, keyed by group
@@ -1042,7 +1197,40 @@ func (e *Engine) Batch(fn func(*reldb.Tx) error) error {
 	}
 	unlock := e.lockAllForWrite()
 	defer unlock()
+	return e.runBatch(e.db.Begin(), fn)
+}
+
+// BatchTables runs fn like Batch, but write-locks only the declared table
+// footprint (plus the tables the declared tables' installed triggers and
+// foreign-key checks read), so batches with disjoint footprints run
+// concurrently. The transaction is restricted to the declared tables: a
+// mutation of an undeclared table fails before applying, fn sees the
+// error, and returning it rolls the batch back. Triggers installed on the
+// declared tables still fire at commit exactly as with Batch.
+func (e *Engine) BatchTables(tables []string, fn func(*reldb.Tx) error) error {
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	e.mu.RLock()
+	write := map[string]bool{}
+	for _, t := range tables {
+		if _, ok := e.tableLocks[t]; !ok {
+			e.mu.RUnlock()
+			return fmt.Errorf("core: unknown table %q", t)
+		}
+		write[t] = true
+	}
+	unlock := e.acquireLocks(write, e.readFootprint(write))
+	e.mu.RUnlock()
+	defer unlock()
 	tx := e.db.Begin()
+	tx.Restrict(tables)
+	return e.runBatch(tx, fn)
+}
+
+// runBatch drives one batched transaction to commit or rollback under
+// locks the caller already holds.
+func (e *Engine) runBatch(tx *reldb.Tx, fn func(*reldb.Tx) error) error {
 	finished := false
 	// A panic escaping fn must not leave half a transaction applied with
 	// no firing: roll the data back before unwinding (database/sql's

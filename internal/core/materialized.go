@@ -121,7 +121,6 @@ func (e *Engine) buildMaterialized(g *group) error {
 					}
 					avals[i] = v
 				}
-				e.actsRun.Add(1)
 				inv := Invocation{
 					Trigger: name,
 					Event:   g.event,
@@ -129,7 +128,7 @@ func (e *Engine) buildMaterialized(g *group) error {
 					New:     p.new[g.nav.NodeCol].AsNode(),
 					Args:    avals,
 				}
-				if err := e.action(ti.Spec.ActionFn)(inv); err != nil {
+				if err := e.deliver(ti.Spec.ActionFn, inv); err != nil {
 					return err
 				}
 			}

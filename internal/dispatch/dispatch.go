@@ -1,0 +1,358 @@
+// Package dispatch decouples trigger actions from the firing statement:
+// a bounded-queue worker pool that runs user-supplied action callbacks off
+// the writer's critical path. The paper's translation makes trigger
+// *detection* cheap — one statement-level SQL trigger per group — but the
+// user-visible *action* is an external function call (Section 2.2), and a
+// slow notification sink run inline stalls every writer whose statement
+// fired it. The dispatcher restores the paper's asymmetry: detection stays
+// inline under the statement's locks, delivery happens elsewhere.
+//
+// Ordering guarantee: deliveries for the same trigger never reorder and
+// never run concurrently (per-trigger FIFO "lanes", matching enqueue
+// order, which the engine ties to commit order via its table locks);
+// deliveries for distinct triggers fan out across the worker pool.
+//
+// Backpressure: the queue capacity bounds the total number of queued
+// deliveries across all lanes. When the queue is full, Enqueue applies the
+// configured Policy: Block (wait for space — writers throttle to the sink
+// rate), DropNewest (count and discard the new delivery), or Error
+// (surface ErrQueueFull to the writer).
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Policy selects the backpressure behavior of Enqueue on a full queue.
+type Policy uint8
+
+// Backpressure policies.
+const (
+	// Block waits until queue space frees up (or the dispatcher closes).
+	Block Policy = iota
+	// DropNewest discards the delivery being enqueued and counts it.
+	DropNewest
+	// Error rejects the delivery with ErrQueueFull, surfaced to the writer.
+	Error
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "BLOCK"
+	case DropNewest:
+		return "DROP-NEWEST"
+	case Error:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Sentinel errors surfaced to enqueuers.
+var (
+	ErrQueueFull = errors.New("dispatch: queue full")
+	ErrClosed    = errors.New("dispatch: dispatcher closed")
+)
+
+// Delivery is one fired trigger activation: the trigger it belongs to (the
+// FIFO lane key) and the closure that invokes the action. Run must be
+// self-contained: it captures an immutable snapshot of everything the
+// action needs (node bindings, evaluated arguments), so workers never
+// touch engine or database state.
+type Delivery struct {
+	Trigger string
+	Run     func() error
+}
+
+// Config parameterizes a Dispatcher.
+type Config struct {
+	// Workers is the pool size; defaults to runtime.NumCPU().
+	Workers int
+	// QueueCap bounds the queued (not yet running) deliveries across all
+	// lanes; defaults to 1024.
+	QueueCap int
+	// Policy is applied by Enqueue when the queue is full.
+	Policy Policy
+	// OnError, when set, observes action errors (and recovered panics).
+	// It is called outside the dispatcher's locks and must not call back
+	// into the dispatcher's blocking operations for the same trigger.
+	OnError func(trigger string, err error)
+}
+
+// Stats is a snapshot of dispatcher-wide counters.
+type Stats struct {
+	Enqueued     int64 // deliveries accepted into the queue
+	Completed    int64 // deliveries whose action finished (ok or error)
+	Dropped      int64 // deliveries discarded (DropNewest) or rejected (Error)
+	ActionErrors int64 // actions that returned an error or panicked
+	Queued       int64 // current queue depth (waiting, not running)
+	Running      int64 // deliveries executing right now
+	MaxDepth     int64 // high-water mark of Queued
+	Lanes        int   // live per-trigger lanes
+}
+
+// LaneStats is the per-trigger slice of the counters.
+type LaneStats struct {
+	Enqueued     int64
+	Completed    int64
+	Dropped      int64
+	ActionErrors int64
+	Queued       int64
+	MaxDepth     int64
+}
+
+// lane is one trigger's FIFO delivery queue. Invariants (under d.mu):
+// inRunq implies len(pending) > 0; at most one worker has active set, so
+// a lane's deliveries never run concurrently.
+type lane struct {
+	name    string
+	pending []Delivery
+	active  bool
+	inRunq  bool
+	stats   LaneStats
+}
+
+// Dispatcher runs deliveries on a worker pool with per-trigger FIFO
+// ordering and a bounded global queue. All methods are safe for
+// concurrent use.
+type Dispatcher struct {
+	cfg Config
+
+	mu    sync.Mutex
+	work  *sync.Cond // a lane became runnable, or the dispatcher is closing
+	space *sync.Cond // queue space freed (Block-policy enqueuers wait here)
+	idle  *sync.Cond // a delivery completed (Drain/DrainTrigger wait here)
+
+	lanes   map[string]*lane
+	runq    []*lane // runnable lanes, round-robin
+	queued  int
+	running int
+	closed  bool
+	stats   Stats
+
+	wg sync.WaitGroup
+}
+
+// New starts a dispatcher with cfg.Workers goroutines.
+func New(cfg Config) *Dispatcher {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	d := &Dispatcher{cfg: cfg, lanes: map[string]*lane{}}
+	d.work = sync.NewCond(&d.mu)
+	d.space = sync.NewCond(&d.mu)
+	d.idle = sync.NewCond(&d.mu)
+	d.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go d.worker()
+	}
+	return d
+}
+
+// Config returns the dispatcher's effective configuration.
+func (d *Dispatcher) Config() Config { return d.cfg }
+
+func (d *Dispatcher) laneOf(name string) *lane {
+	ln, ok := d.lanes[name]
+	if !ok {
+		ln = &lane{name: name}
+		d.lanes[name] = ln
+	}
+	return ln
+}
+
+// Enqueue appends a delivery to its trigger's lane. On a full queue it
+// applies the configured policy; the returned error is nil unless the
+// policy is Error (ErrQueueFull) or the dispatcher is closed (ErrClosed).
+func (d *Dispatcher) Enqueue(dl Delivery) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.closed {
+			return ErrClosed
+		}
+		if d.queued < d.cfg.QueueCap {
+			break
+		}
+		switch d.cfg.Policy {
+		case DropNewest:
+			d.stats.Dropped++
+			d.laneOf(dl.Trigger).stats.Dropped++
+			return nil
+		case Error:
+			d.stats.Dropped++
+			d.laneOf(dl.Trigger).stats.Dropped++
+			return ErrQueueFull
+		default: // Block
+			d.space.Wait()
+		}
+	}
+	ln := d.laneOf(dl.Trigger)
+	ln.pending = append(ln.pending, dl)
+	ln.stats.Enqueued++
+	if q := int64(len(ln.pending)); q > ln.stats.MaxDepth {
+		ln.stats.MaxDepth = q
+	}
+	d.queued++
+	d.stats.Enqueued++
+	if int64(d.queued) > d.stats.MaxDepth {
+		d.stats.MaxDepth = int64(d.queued)
+	}
+	if !ln.active && !ln.inRunq {
+		d.runq = append(d.runq, ln)
+		ln.inRunq = true
+		d.work.Signal()
+	}
+	return nil
+}
+
+// worker pops one delivery from the head of a runnable lane, runs it, and
+// re-queues the lane at the tail if it has more work (round-robin across
+// lanes, FIFO within a lane). After Close it keeps draining until the run
+// queue is empty, then exits.
+func (d *Dispatcher) worker() {
+	defer d.wg.Done()
+	for {
+		d.mu.Lock()
+		for len(d.runq) == 0 && !d.closed {
+			d.work.Wait()
+		}
+		if len(d.runq) == 0 { // closed and drained
+			d.mu.Unlock()
+			return
+		}
+		ln := d.runq[0]
+		d.runq = d.runq[1:]
+		ln.inRunq = false
+		dl := ln.pending[0]
+		ln.pending = ln.pending[1:]
+		if len(ln.pending) == 0 {
+			ln.pending = nil // release the drained backing array
+		}
+		ln.active = true
+		d.queued--
+		d.running++
+		d.space.Signal()
+		d.mu.Unlock()
+
+		err := runDelivery(dl)
+		if err != nil && d.cfg.OnError != nil {
+			// Report before the completion accounting below: the delivery
+			// still counts as running, so Drain/DrainTrigger/Close callers
+			// observe every OnError for work they waited on.
+			d.cfg.OnError(dl.Trigger, err)
+		}
+
+		d.mu.Lock()
+		d.running--
+		d.stats.Completed++
+		ln.stats.Completed++
+		if err != nil {
+			d.stats.ActionErrors++
+			ln.stats.ActionErrors++
+		}
+		ln.active = false
+		if len(ln.pending) > 0 {
+			d.runq = append(d.runq, ln)
+			ln.inRunq = true
+			d.work.Signal()
+		}
+		d.idle.Broadcast()
+		d.mu.Unlock()
+	}
+}
+
+// runDelivery shields the pool from a panicking action: inline invocation
+// would propagate the panic to the writer, but on a worker it would crash
+// the whole process, so it is converted to an error and counted.
+func runDelivery(dl Delivery) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("dispatch: action for trigger %s panicked: %v", dl.Trigger, r)
+		}
+	}()
+	return dl.Run()
+}
+
+// Drain blocks until every queued delivery has completed and no delivery
+// is running. It does not stop producers: it is a barrier, not a shutdown
+// (tests and the conformance harness use it to line async output up with
+// the synchronous golden log).
+func (d *Dispatcher) Drain() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.queued > 0 || d.running > 0 {
+		d.idle.Wait()
+	}
+}
+
+// DrainTrigger blocks until the named trigger's lane is empty and idle,
+// then removes the lane (freeing its bookkeeping) and returns its final
+// counters. The engine calls this from DropTrigger so in-flight deliveries
+// of a dropped trigger complete before the drop returns, and nothing
+// leaks.
+func (d *Dispatcher) DrainTrigger(name string) LaneStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		ln, ok := d.lanes[name]
+		if !ok {
+			return LaneStats{}
+		}
+		if len(ln.pending) == 0 && !ln.active {
+			delete(d.lanes, name)
+			return ln.stats
+		}
+		d.idle.Wait()
+	}
+}
+
+// Close drains the queue gracefully — workers finish every already-queued
+// delivery — rejects new enqueues with ErrClosed (including Block-policy
+// enqueuers already waiting for space), and stops the pool. Idempotent.
+func (d *Dispatcher) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		d.wg.Wait()
+		return nil
+	}
+	d.closed = true
+	d.work.Broadcast()
+	d.space.Broadcast()
+	d.mu.Unlock()
+	d.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the dispatcher-wide counters.
+func (d *Dispatcher) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.stats
+	st.Queued = int64(d.queued)
+	st.Running = int64(d.running)
+	st.Lanes = len(d.lanes)
+	return st
+}
+
+// TriggerStats returns the named trigger's lane counters, reporting false
+// if the lane does not exist (never enqueued to, or drained away).
+func (d *Dispatcher) TriggerStats(name string) (LaneStats, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ln, ok := d.lanes[name]
+	if !ok {
+		return LaneStats{}, false
+	}
+	st := ln.stats
+	st.Queued = int64(len(ln.pending))
+	return st, true
+}

@@ -60,6 +60,14 @@ func (e Event) String() string {
 // statements Deleted is empty; for DELETE, Inserted is empty; UPDATE
 // populates both, index-aligned (Deleted[i] is the old version of
 // Inserted[i]).
+//
+// Immutability contract: the Row values in the transition tables (and in
+// Batch.Deltas) are snapshots that the store never mutates in place —
+// every write path replaces rows copy-on-write (applyInsert copies its
+// input; applyUpdate builds the new version from a copy and swaps it in).
+// Trigger bodies and asynchronous dispatchers may therefore retain
+// transition rows, and anything derived from them, beyond the firing
+// statement without copying and without holding the statement's locks.
 type FireContext struct {
 	DB       *DB
 	Table    string
@@ -89,6 +97,12 @@ type NetDelta struct {
 type BatchInfo struct {
 	Seq    int64
 	Deltas map[string]*NetDelta
+	// EngineState is scratch storage for the trigger-translation layer:
+	// every firing wave of one commit shares this BatchInfo and runs on
+	// the committing goroutine, so per-commit state cached here (e.g.
+	// cross-plan activation dedup) needs no locking and lives exactly as
+	// long as the commit that created it.
+	EngineState any
 }
 
 // SQLTrigger is a statement-level AFTER trigger. Body is the compiled

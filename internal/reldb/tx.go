@@ -41,7 +41,11 @@ type Tx struct {
 	// PK-changing updates — instead of reporting DELETE+INSERT.
 	moved map[string]map[string]string
 	order []string // tables in first-touch order
-	done  bool
+	// allowed, when non-nil, restricts mutations to the listed tables
+	// (declared-footprint batches, Engine.BatchTables); a mutation of any
+	// other table fails before applying.
+	allowed map[string]bool
+	done    bool
 }
 
 // Begin starts a batched transaction.
@@ -103,6 +107,16 @@ func noteFirstTouch(m map[string]Row, key string, pre Row) {
 	}
 }
 
+// Restrict limits the transaction to the declared tables: any subsequent
+// mutation of an undeclared table fails before applying, so the caller's
+// lock footprint stays authoritative. Reads are not restricted.
+func (tx *Tx) Restrict(tables []string) {
+	tx.allowed = map[string]bool{}
+	for _, t := range tables {
+		tx.allowed[t] = true
+	}
+}
+
 func (tx *Tx) check() error {
 	if tx.done {
 		return fmt.Errorf("reldb: transaction already finished")
@@ -110,9 +124,21 @@ func (tx *Tx) check() error {
 	return nil
 }
 
+// checkTable combines the finished check with the declared-footprint
+// restriction; every mutation entry point calls it before applying.
+func (tx *Tx) checkTable(table string) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	if tx.allowed != nil && !tx.allowed[table] {
+		return fmt.Errorf("reldb: transaction is restricted to its declared tables; %q is not declared", table)
+	}
+	return nil
+}
+
 // Insert adds rows as one deferred-firing statement.
 func (tx *Tx) Insert(table string, rows ...Row) error {
-	if err := tx.check(); err != nil {
+	if err := tx.checkTable(table); err != nil {
 		return err
 	}
 	_, inserted, err := tx.db.applyInsert(table, rows)
@@ -129,7 +155,7 @@ func (tx *Tx) Insert(table string, rows ...Row) error {
 
 // Update rewrites all rows matching pred via set; firing is deferred.
 func (tx *Tx) Update(table string, pred func(Row) bool, set func(Row) Row) (int, error) {
-	if err := tx.check(); err != nil {
+	if err := tx.checkTable(table); err != nil {
 		return 0, err
 	}
 	changes, err := tx.db.applyUpdate(table, pred, set)
@@ -158,7 +184,7 @@ func (tx *Tx) Update(table string, pred func(Row) bool, set func(Row) Row) (int,
 
 // UpdateByPK rewrites the single row with the given primary key.
 func (tx *Tx) UpdateByPK(table string, key []xdm.Value, set func(Row) Row) (bool, error) {
-	if err := tx.check(); err != nil {
+	if err := tx.checkTable(table); err != nil {
 		return false, err
 	}
 	c, err := tx.db.applyUpdateByPK(table, key, set)
@@ -176,7 +202,7 @@ func (tx *Tx) UpdateByPK(table string, key []xdm.Value, set func(Row) Row) (bool
 
 // Delete removes all rows matching pred; firing is deferred.
 func (tx *Tx) Delete(table string, pred func(Row) bool) (int, error) {
-	if err := tx.check(); err != nil {
+	if err := tx.checkTable(table); err != nil {
 		return 0, err
 	}
 	removed, err := tx.db.applyDelete(table, pred)
@@ -193,7 +219,7 @@ func (tx *Tx) Delete(table string, pred func(Row) bool) (int, error) {
 
 // DeleteByPK removes the row with the given primary key, if present.
 func (tx *Tx) DeleteByPK(table string, key ...xdm.Value) (bool, error) {
-	if err := tx.check(); err != nil {
+	if err := tx.checkTable(table); err != nil {
 		return false, err
 	}
 	kr, err := tx.db.applyDeleteByPK(table, key)
