@@ -17,11 +17,16 @@ import (
 
 	"quark/internal/core"
 	"quark/internal/dispatch"
+	"quark/internal/outbox"
+	"quark/internal/reldb"
+	"quark/internal/schema"
+	"quark/internal/wire"
 	"quark/internal/workload"
+	"quark/internal/xdm"
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "figure to regenerate: 17, 18, 22, 23, 24, batch, dispatch, compile, or all")
+	figFlag     = flag.String("fig", "all", "figure to regenerate: 17, 18, 22, 23, 24, batch, dispatch, outbox, compile, or all")
 	scaleFlag   = flag.Float64("scale", 0.25, "data scale factor (1.0 = paper scale: 128K leaf tuples default)")
 	updatesFlag = flag.Int("updates", 100, "independent updates per measurement (paper: 100)")
 	maxTrigFlag = flag.Int("maxtriggers", 10000, "cap on trigger-count sweep (paper sweeps to 100,000)")
@@ -265,6 +270,174 @@ func figDispatch() {
 	}
 }
 
+// figOutbox has two parts. Part one prices the durability tax: per-update
+// writer cost of async dispatch with and without the outbox appending
+// every delivery to its segment log first. Part two demonstrates
+// dispatch-aware backpressure: a flooding trigger against a slow sink,
+// run under three policies — Block (no quota), DropNewest (no quota, the
+// flood starves a well-behaved trigger out of the shared queue), and
+// DropOldest with a per-trigger lane quota (the flood is capped, the
+// quiet trigger is untouched) — with the outbox retaining every shed
+// record for replay, so freshness-first queueing still converges to
+// complete delivery.
+func figOutbox() {
+	fmt.Println("\nOutbox sweep (1): per-update writer cost, async vs async+outbox (1ms sink)")
+	fmt.Printf("%-24s%16s\n", "", "(avg ms per update)")
+	burst := *updatesFlag
+	if burst > 512 {
+		burst = 512
+	}
+	for _, durable := range []bool{false, true} {
+		p := defaults()
+		w, err := workload.Build(p, core.ModeGrouped, 42)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w.Engine.RegisterAction("notify", func(core.Invocation) error {
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+		if err := w.Engine.EnableAsyncDispatch(dispatch.Config{
+			Workers: 8, QueueCap: 1024, Policy: dispatch.Block,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		label := "async"
+		if durable {
+			label = "async+outbox"
+			dir, err := os.MkdirTemp("", "benchrunner-outbox-")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(dir)
+			lg, err := outbox.Open(dir, outbox.Options{})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer lg.Close()
+			sink := outbox.SinkFunc(func(*wire.Record) error {
+				time.Sleep(time.Millisecond)
+				return nil
+			})
+			if err := w.Engine.EnableOutbox(lg, sink); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := w.UpdateOneLeaf(); err != nil { // warm-up
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w.Engine.Drain()
+		start := time.Now()
+		for i := 0; i < burst; i++ {
+			if err := w.UpdateOneLeaf(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		per := time.Since(start) / time.Duration(burst)
+		w.Engine.Drain()
+		if err := w.Engine.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-24s%16.3f\n", label, float64(per.Microseconds())/1000.0)
+	}
+
+	fmt.Println("\nOutbox sweep (2): flooding trigger vs per-trigger quota (2ms sink, queue 64)")
+	fmt.Printf("%-28s%12s%12s%12s%12s%12s%12s\n",
+		"policy", "flood ok", "flood drop", "quiet ok", "quiet drop", "writer ms", "replayed")
+	for _, cfg := range []struct {
+		label string
+		d     dispatch.Config
+	}{
+		{"BLOCK (no quota)", dispatch.Config{Workers: 2, QueueCap: 64, Policy: dispatch.Block}},
+		{"DROP-NEWEST (no quota)", dispatch.Config{Workers: 2, QueueCap: 64, Policy: dispatch.DropNewest}},
+		{"DROP-OLDEST quota=8", dispatch.Config{Workers: 2, QueueCap: 64, LaneQuota: 8, Policy: dispatch.DropOldest}},
+	} {
+		runFloodScenario(cfg.label, cfg.d)
+	}
+}
+
+// runFloodScenario drives one backpressure configuration: 300 updates of
+// the flooded symbol interleaved with 20 of the quiet one, a 2ms sink,
+// then a restart-style replay that recovers whatever the policy shed.
+func runFloodScenario(label string, dcfg dispatch.Config) {
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	s := schema.New()
+	s.MustAddTable(&schema.Table{
+		Name: "quote",
+		Columns: []schema.Column{
+			{Name: "sym", Type: schema.TString},
+			{Name: "price", Type: schema.TFloat},
+		},
+		PrimaryKey: []string{"sym"},
+	})
+	db, err := reldb.Open(s)
+	fail(err)
+	fail(db.Insert("quote",
+		reldb.Row{xdm.Str("FLOOD"), xdm.Float(1)},
+		reldb.Row{xdm.Str("STEADY"), xdm.Float(1)},
+	))
+	e := core.NewEngine(db, core.ModeGrouped)
+	e.RegisterAction("notify", func(core.Invocation) error { return nil })
+	_, err = e.CreateView("m", `<m>{for $q in view('default')/quote/row return <q sym={$q/sym} price={$q/price}></q>}</m>`)
+	fail(err)
+	fail(e.CreateTrigger(`CREATE TRIGGER flood AFTER UPDATE ON view('m')/q WHERE NEW_NODE/@sym = 'FLOOD' DO notify(NEW_NODE)`))
+	fail(e.CreateTrigger(`CREATE TRIGGER quiet AFTER UPDATE ON view('m')/q WHERE NEW_NODE/@sym = 'STEADY' DO notify(NEW_NODE)`))
+	fail(e.Flush())
+
+	dir, err := os.MkdirTemp("", "benchrunner-flood-")
+	fail(err)
+	defer os.RemoveAll(dir)
+	lg, err := outbox.Open(dir, outbox.Options{})
+	fail(err)
+	defer lg.Close()
+	sink := outbox.SinkFunc(func(*wire.Record) error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	fail(e.EnableAsyncDispatch(dcfg))
+	fail(e.EnableOutbox(lg, sink))
+
+	bump := func(sym string, p float64) {
+		_, err := e.UpdateByPK("quote", []xdm.Value{xdm.Str(sym)}, func(r reldb.Row) reldb.Row {
+			r[1] = xdm.Float(p)
+			return r
+		})
+		fail(err)
+	}
+	start := time.Now()
+	for i := 0; i < 300; i++ {
+		bump("FLOOD", float64(2+i))
+		if i%15 == 0 {
+			bump("STEADY", float64(2+i))
+		}
+	}
+	writer := time.Since(start)
+	e.Drain()
+	fs, _ := e.TriggerDispatchStats("flood")
+	qs, _ := e.TriggerDispatchStats("quiet")
+	fail(e.Close())
+
+	// "Restart": whatever the policy shed stayed durable; replay recovers it.
+	replayed, err := lg.Replay(outbox.SinkFunc(func(*wire.Record) error { return nil }))
+	fail(err)
+	fmt.Printf("%-28s%12d%12d%12d%12d%12.1f%12d\n",
+		label, fs.Completed, fs.Dropped, qs.Completed, qs.Dropped,
+		float64(writer.Microseconds())/1000.0, replayed)
+}
+
 func figCompile() {
 	fmt.Println("\nTrigger compile time (paper §6: ~100 ms on 2003 hardware)")
 	p := defaults()
@@ -310,6 +483,8 @@ func main() {
 		figBatch()
 	case "dispatch":
 		figDispatch()
+	case "outbox":
+		figOutbox()
 	case "all":
 		fig17()
 		fig18()
@@ -318,6 +493,7 @@ func main() {
 		fig24()
 		figBatch()
 		figDispatch()
+		figOutbox()
 		figCompile()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)

@@ -106,6 +106,8 @@ func TestDifferential(t *testing.T) {
 			for _, opts := range []RunOpts{
 				{Batched: false}, {Batched: true},
 				{Batched: false, Async: true}, {Batched: true, Async: true},
+				{Batched: false, Async: true, Replayed: true},
+				{Batched: true, Async: true, Replayed: true},
 			} {
 				style := "single"
 				if opts.Batched {
@@ -113,6 +115,9 @@ func TestDifferential(t *testing.T) {
 				}
 				if opts.Async {
 					style += "+async"
+				}
+				if opts.Replayed {
+					style += "+replayed"
 				}
 				oracle := oracles[opts.Batched]
 				for _, mode := range modes {
@@ -155,6 +160,40 @@ func TestGoldenAsync(t *testing.T) {
 			}
 			if got != string(want) {
 				t.Errorf("async output diverges from sync golden:\n%s", diffText(string(want), got))
+			}
+		})
+	}
+}
+
+// TestGoldenReplayed runs the oracle with async dispatch and the durable
+// outbox, building the notification log from the segment files through
+// the wire codec (the replayed-sink path), and requires it to be
+// byte-identical to the committed synchronous goldens: serialization,
+// the log, and replay ordering must lose nothing the action contract
+// exposes.
+func TestGoldenReplayed(t *testing.T) {
+	for _, path := range scenarioFiles(t) {
+		name := scenarioName(path)
+		t.Run(name, func(t *testing.T) {
+			sc, err := ParseFile(path, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			single, err := RunStyle(sc, core.ModeMaterialized, RunOpts{Async: true, Replayed: true})
+			if err != nil {
+				t.Fatalf("replayed single: %v", err)
+			}
+			batched, err := RunStyle(sc, core.ModeMaterialized, RunOpts{Batched: true, Async: true, Replayed: true})
+			if err != nil {
+				t.Fatalf("replayed batched: %v", err)
+			}
+			got := "== single ==\n" + single + "== batched ==\n" + batched
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", name+".golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("replayed-sink output diverges from sync golden:\n%s", diffText(string(want), got))
 			}
 		})
 	}

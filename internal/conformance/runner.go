@@ -2,13 +2,16 @@ package conformance
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
 
 	"quark/internal/core"
 	"quark/internal/dispatch"
+	"quark/internal/outbox"
 	"quark/internal/reldb"
+	"quark/internal/wire"
 	"quark/internal/xdm"
 )
 
@@ -43,6 +46,14 @@ type RunOpts struct {
 	// (8 workers, Block backpressure) with a Drain barrier after every
 	// unit, so the log must come out byte-identical to synchronous mode.
 	Async bool
+	// Replayed routes every delivery through the durable outbox and
+	// builds the notification log from the *log itself*: each unit's
+	// records are read back from the segment files and decoded through
+	// the wire codec — the replayed-sink path an external consumer would
+	// take — instead of from the in-process action. The result must still
+	// come out byte-identical to the synchronous goldens, proving the
+	// codec and the log lose nothing the action contract exposes.
+	Replayed bool
 }
 
 // RunStyle executes the scenario's script in the given translation mode
@@ -66,6 +77,25 @@ func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
 		}
 		defer func() { _ = e.Close() }()
 	}
+	var oblog *outbox.Log
+	if opts.Replayed {
+		dir, err := os.MkdirTemp("", "conformance-outbox-")
+		if err != nil {
+			return "", err
+		}
+		defer os.RemoveAll(dir)
+		oblog, err = outbox.Open(dir, outbox.Options{})
+		if err != nil {
+			return "", err
+		}
+		defer oblog.Close()
+		// Blackhole sink: delivery only acknowledges; the log's read-back
+		// below is the consumer under test.
+		sink := outbox.SinkFunc(func(*wire.Record) error { return nil })
+		if err := e.EnableOutbox(oblog, sink); err != nil {
+			return "", err
+		}
+	}
 
 	// unitMu guards unit: in async style notifications append from worker
 	// goroutines (the per-unit Drain barrier below makes the log content
@@ -73,17 +103,9 @@ func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
 	var unitMu sync.Mutex
 	var unit []string
 	e.RegisterAction("notify", func(inv core.Invocation) error {
-		args := make([]string, len(inv.Args))
-		for i, a := range inv.Args {
-			args[i] = a.Lexical()
-		}
-		newXML := "-"
-		if inv.New != nil {
-			newXML = inv.New.Serialize(false)
-		}
+		line := formatNotify(inv.Trigger, inv.Event, inv.Args, inv.New)
 		unitMu.Lock()
-		unit = append(unit, fmt.Sprintf("notify %s %s args=(%s) new=%s",
-			inv.Trigger, inv.Event, strings.Join(args, "; "), newXML))
+		unit = append(unit, line)
 		unitMu.Unlock()
 		return nil
 	})
@@ -102,8 +124,23 @@ func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
 	}
 
 	var out strings.Builder
-	endUnit := func(label string) {
+	lastSeq := uint64(1) // first log sequence not yet attributed to a unit
+	endUnit := func(label string) error {
 		e.Drain() // async barrier: attribute every delivery to its unit
+		if oblog != nil {
+			// Replayed sink: this unit's notifications come from the
+			// durable log via the wire codec, not the in-process action.
+			recs, err := oblog.Records(lastSeq)
+			if err != nil {
+				return err
+			}
+			unitMu.Lock()
+			for _, r := range recs {
+				unit = append(unit, formatRecord(r))
+			}
+			unitMu.Unlock()
+			lastSeq = oblog.NextSeq()
+		}
 		unitMu.Lock()
 		defer unitMu.Unlock()
 		fmt.Fprintf(&out, "-- %s\n", label)
@@ -113,6 +150,7 @@ func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
 			out.WriteByte('\n')
 		}
 		unit = nil
+		return nil
 	}
 
 	i := 0
@@ -122,7 +160,9 @@ func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
 			if err := sc.execStmt(e, st); err != nil {
 				return "", fmt.Errorf("%s: %w", st.Text, err)
 			}
-			endUnit(st.Text)
+			if err := endUnit(st.Text); err != nil {
+				return "", err
+			}
 			i++
 			continue
 		}
@@ -149,7 +189,9 @@ func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
 				if err := sc.execStmt(e, bs); err != nil {
 					return "", fmt.Errorf("%s: %w", bs.Text, err)
 				}
-				endUnit(bs.Text)
+				if err := endUnit(bs.Text); err != nil {
+					return "", err
+				}
 			}
 			i = j + 1
 			continue
@@ -169,10 +211,33 @@ func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
 				return "", err
 			}
 		}
-		endUnit(label)
+		if err := endUnit(label); err != nil {
+			return "", err
+		}
 		i = j + 1
 	}
 	return out.String(), nil
+}
+
+// formatNotify is the single renderer of a notification line. The
+// in-process action and the outbox read-back both go through it, which is
+// what makes replayed-sink runs byte-comparable with the goldens.
+func formatNotify(trigger string, event reldb.Event, args []xdm.Value, n *xdm.Node) string {
+	strs := make([]string, len(args))
+	for i, a := range args {
+		strs[i] = a.Lexical()
+	}
+	newXML := "-"
+	if n != nil {
+		newXML = n.Serialize(false)
+	}
+	return fmt.Sprintf("notify %s %s args=(%s) new=%s",
+		trigger, event, strings.Join(strs, "; "), newXML)
+}
+
+// formatRecord renders a decoded outbox record via formatNotify.
+func formatRecord(r *wire.Record) string {
+	return formatNotify(r.Trigger, r.Event, r.Args, r.New)
 }
 
 // stmtWriter is the mutation surface shared by the engine (per-statement

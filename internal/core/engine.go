@@ -26,8 +26,10 @@ import (
 	"quark/internal/dispatch"
 	"quark/internal/events"
 	"quark/internal/grouping"
+	"quark/internal/outbox"
 	"quark/internal/reldb"
 	"quark/internal/trigger"
+	"quark/internal/wire"
 	"quark/internal/xdm"
 	"quark/internal/xqgm"
 	"quark/internal/xquery"
@@ -75,6 +77,8 @@ type ActionFunc func(inv Invocation) error
 // Stats reports engine state and activity. Async and Dispatch are only
 // meaningful after EnableAsyncDispatch: Dispatch carries the dispatcher's
 // queue counters (enqueued, completed, dropped, max depth, action errors).
+// Outbox and OutboxLog are only meaningful after EnableOutbox: OutboxLog
+// carries the durable log's append/ack counters.
 type Stats struct {
 	XMLTriggers int
 	SQLTriggers int
@@ -83,6 +87,8 @@ type Stats struct {
 	Actions     int64
 	Async       bool
 	Dispatch    dispatch.Stats
+	Outbox      bool
+	OutboxLog   outbox.Stats
 }
 
 // Engine ties the pipeline together over one relational database.
@@ -140,8 +146,28 @@ type Engine struct {
 	// pre-dispatch engine.
 	dispatcher atomic.Pointer[dispatch.Dispatcher]
 
+	// ob, when non-nil, makes delivery durable: every activation is
+	// appended to the outbox log before it is delivered (inline or via the
+	// dispatcher) and acknowledged only after the sink accepted it.
+	// obLocks stripes a per-trigger mutex (by name hash) held across
+	// append+enqueue so log order always agrees with lane order for any
+	// one trigger; without it two statements on disjoint tables activating
+	// the same trigger could enqueue in the opposite order of their
+	// appends, and a replay would then reorder that trigger's deliveries.
+	// Striping (rather than one global mutex) keeps a writer parked in
+	// Block-policy backpressure from stalling unrelated triggers' durable
+	// deliveries — cross-trigger order carries no guarantee anyway.
+	ob      atomic.Pointer[outboxState]
+	obLocks [64]sync.Mutex
+
 	fires   atomic.Int64
 	actsRun atomic.Int64
+}
+
+// outboxState pairs the durable log with the sink consuming it.
+type outboxState struct {
+	log  *outbox.Log
+	sink outbox.Sink // nil: deliver to the registered action functions
 }
 
 // TriggerInfo is one registered XML trigger.
@@ -416,6 +442,39 @@ func (e *Engine) TriggerDispatchStats(name string) (dispatch.LaneStats, bool) {
 	return dispatch.LaneStats{}, false
 }
 
+// EnableOutbox makes action delivery durable (transactional-outbox
+// pattern): every activation is serialized through the wire codec and
+// appended to lg *before* it is delivered, and acknowledged only after
+// delivery succeeded. A crash — queued deliveries lost with the process,
+// a sink outage, a statement aborted by an inline delivery error — leaves
+// the unacknowledged records in the log, and outbox.(*Log).Replay on the
+// next start re-drives exactly those through the sink in log order, so
+// delivery is at-least-once with per-trigger FIFO preserved end to end.
+//
+// sink is the consumer: an outbox.SinkFunc, FileSink, PartitionedSink, or
+// any external transport. A nil sink delivers to the registered action
+// functions, making the outbox a durability layer under the existing
+// in-process actions. With a drop policy (DropNewest/DropOldest) the
+// dispatcher sheds live-queue load, but the shed records stay in the log
+// unacknowledged — durable completeness behind a freshness-first queue.
+//
+// The engine does not own lg: the caller opens it (recovering any
+// previous run's records), replays, enables, and closes it after
+// Engine.Close. Returns an error if an outbox is already enabled.
+func (e *Engine) EnableOutbox(lg *outbox.Log, sink outbox.Sink) error {
+	if lg == nil {
+		return fmt.Errorf("core: EnableOutbox requires a log")
+	}
+	st := &outboxState{log: lg, sink: sink}
+	if !e.ob.CompareAndSwap(nil, st) {
+		return fmt.Errorf("core: outbox already enabled")
+	}
+	return nil
+}
+
+// OutboxEnabled reports whether durable delivery is enabled.
+func (e *Engine) OutboxEnabled() bool { return e.ob.Load() != nil }
+
 // deliver hands one activation to the action function: inline in
 // synchronous mode (errors abort the firing statement, AFTER-trigger
 // style), or enqueued on the dispatcher in async mode. The Invocation is
@@ -424,10 +483,14 @@ func (e *Engine) TriggerDispatchStats(name string) (dispatch.LaneStats, bool) {
 // state. Async action errors cannot reach the writer (its statement
 // already returned); they are counted by the dispatcher and reported to
 // its OnError hook. Enqueue errors (Error-policy backpressure, closed
-// dispatcher) do surface to the writer.
+// dispatcher) do surface to the writer, as do outbox append errors — a
+// delivery that cannot be made durable is not delivered.
 func (e *Engine) deliver(fnName string, inv Invocation) error {
 	fn := e.action(fnName)
 	d := e.dispatcher.Load()
+	if ob := e.ob.Load(); ob != nil {
+		return e.deliverDurable(ob, d, fn, fnName, inv)
+	}
 	if d == nil {
 		e.actsRun.Add(1)
 		if err := fn(inv); err != nil {
@@ -439,6 +502,62 @@ func (e *Engine) deliver(fnName string, inv Invocation) error {
 		e.actsRun.Add(1)
 		return fn(inv)
 	}})
+	if err != nil {
+		return fmt.Errorf("core: dispatching action %s of trigger %s: %w", fnName, inv.Trigger, err)
+	}
+	return nil
+}
+
+// obLock returns the trigger's stripe lock.
+func (e *Engine) obLock(trigger string) *sync.Mutex {
+	h := uint32(2166136261)
+	for i := 0; i < len(trigger); i++ {
+		h = (h ^ uint32(trigger[i])) * 16777619 // FNV-1a
+	}
+	return &e.obLocks[h%uint32(len(e.obLocks))]
+}
+
+// deliverDurable is deliver with the outbox enabled: append, then deliver
+// (inline or enqueued), then ack. The trigger's stripe lock is held across
+// append+enqueue so the log's sequence order and the dispatcher's lane
+// order never disagree — the property that makes a replay reproduce live
+// per-trigger order. In inline (no-dispatcher) mode the stripe is held
+// across the delivery itself: concurrent disjoint-table statements can
+// activate the same trigger, and the Sink contract (one at a time, in log
+// order, per trigger) must hold there too. Callbacks re-entering the
+// engine were always forbidden (see the Engine doc); with the outbox on,
+// an inline violation now deadlocks on the stripe instead of racing.
+func (e *Engine) deliverDurable(ob *outboxState, d *dispatch.Dispatcher, fn ActionFunc, fnName string, inv Invocation) error {
+	rec := &wire.Record{Trigger: inv.Trigger, Event: inv.Event, Old: inv.Old, New: inv.New, Args: inv.Args}
+	run := func() error {
+		e.actsRun.Add(1)
+		var err error
+		if ob.sink != nil {
+			err = ob.sink.Deliver(rec)
+		} else {
+			err = fn(inv)
+		}
+		if err != nil {
+			return err // unacked: the record stays due for replay
+		}
+		return ob.log.Ack(rec.Seq)
+	}
+	mu := e.obLock(inv.Trigger)
+	mu.Lock()
+	if _, err := ob.log.Append(rec); err != nil {
+		mu.Unlock()
+		return fmt.Errorf("core: outbox append for trigger %s: %w", inv.Trigger, err)
+	}
+	if d == nil {
+		err := run()
+		mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("core: action %s of trigger %s: %w", fnName, inv.Trigger, err)
+		}
+		return nil
+	}
+	err := d.Enqueue(dispatch.Delivery{Trigger: inv.Trigger, Run: run})
+	mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("core: dispatching action %s of trigger %s: %w", fnName, inv.Trigger, err)
 	}
@@ -1113,6 +1232,10 @@ func (e *Engine) Stats() Stats {
 	if d := e.dispatcher.Load(); d != nil {
 		st.Async = true
 		st.Dispatch = d.Stats()
+	}
+	if ob := e.ob.Load(); ob != nil {
+		st.Outbox = true
+		st.OutboxLog = ob.log.Stats()
 	}
 	return st
 }

@@ -13,9 +13,13 @@
 // deliveries for distinct triggers fan out across the worker pool.
 //
 // Backpressure: the queue capacity bounds the total number of queued
-// deliveries across all lanes. When the queue is full, Enqueue applies the
-// configured Policy: Block (wait for space — writers throttle to the sink
-// rate), DropNewest (count and discard the new delivery), or Error
+// deliveries across all lanes, and LaneQuota (optional) bounds each
+// trigger's lane so one flooding trigger cannot consume the shared
+// capacity and starve every other trigger. When either bound is hit,
+// Enqueue applies the configured Policy: Block (wait for space — writers
+// throttle to the sink rate), DropNewest (count and discard the new
+// delivery), DropOldest (discard the flooding lane's oldest queued
+// delivery to admit the new one — freshness over completeness), or Error
 // (surface ErrQueueFull to the writer).
 package dispatch
 
@@ -37,6 +41,13 @@ const (
 	DropNewest
 	// Error rejects the delivery with ErrQueueFull, surfaced to the writer.
 	Error
+	// DropOldest discards the oldest *queued* delivery of the enqueueing
+	// trigger's lane and admits the new one, keeping the freshest
+	// notifications when a sink cannot keep up. When the lane has nothing
+	// queued (the shared queue is full of other triggers' work), it
+	// degrades to DropNewest — a delivery of another trigger is never
+	// sacrificed.
+	DropOldest
 )
 
 func (p Policy) String() string {
@@ -47,6 +58,8 @@ func (p Policy) String() string {
 		return "DROP-NEWEST"
 	case Error:
 		return "ERROR"
+	case DropOldest:
+		return "DROP-OLDEST"
 	default:
 		return fmt.Sprintf("Policy(%d)", uint8(p))
 	}
@@ -75,7 +88,15 @@ type Config struct {
 	// QueueCap bounds the queued (not yet running) deliveries across all
 	// lanes; defaults to 1024.
 	QueueCap int
-	// Policy is applied by Enqueue when the queue is full.
+	// LaneQuota, when positive, bounds the queued deliveries of any single
+	// trigger's lane. It is the anti-starvation knob: without it, one
+	// trigger flooding faster than its sink drains eventually owns the
+	// whole shared queue and every other trigger's writers hit the
+	// backpressure policy for work that is not theirs. Zero means no
+	// per-lane bound (the pre-quota behavior).
+	LaneQuota int
+	// Policy is applied by Enqueue when the shared queue or the trigger's
+	// lane quota is full.
 	Policy Policy
 	// OnError, when set, observes action errors (and recovered panics).
 	// It is called outside the dispatcher's locks and must not call back
@@ -168,9 +189,10 @@ func (d *Dispatcher) laneOf(name string) *lane {
 	return ln
 }
 
-// Enqueue appends a delivery to its trigger's lane. On a full queue it
-// applies the configured policy; the returned error is nil unless the
-// policy is Error (ErrQueueFull) or the dispatcher is closed (ErrClosed).
+// Enqueue appends a delivery to its trigger's lane. When the shared queue
+// is full, or the lane is at its LaneQuota, it applies the configured
+// policy; the returned error is nil unless the policy is Error
+// (ErrQueueFull) or the dispatcher is closed (ErrClosed).
 func (d *Dispatcher) Enqueue(dl Delivery) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -178,18 +200,40 @@ func (d *Dispatcher) Enqueue(dl Delivery) error {
 		if d.closed {
 			return ErrClosed
 		}
-		if d.queued < d.cfg.QueueCap {
+		ln := d.laneOf(dl.Trigger)
+		overShared := d.queued >= d.cfg.QueueCap
+		overQuota := d.cfg.LaneQuota > 0 && len(ln.pending) >= d.cfg.LaneQuota
+		if !overShared && !overQuota {
 			break
 		}
 		switch d.cfg.Policy {
 		case DropNewest:
 			d.stats.Dropped++
-			d.laneOf(dl.Trigger).stats.Dropped++
+			ln.stats.Dropped++
 			return nil
 		case Error:
 			d.stats.Dropped++
-			d.laneOf(dl.Trigger).stats.Dropped++
+			ln.stats.Dropped++
 			return ErrQueueFull
+		case DropOldest:
+			if len(ln.pending) == 0 {
+				// Shared queue full of other triggers' work: nothing of
+				// ours to displace, and another lane's delivery is not
+				// ours to drop.
+				d.stats.Dropped++
+				ln.stats.Dropped++
+				return nil
+			}
+			// Displace our oldest queued delivery; the swap keeps both
+			// the shared depth and the lane depth constant, so the lane's
+			// inRunq/active invariants are untouched.
+			ln.pending = ln.pending[1:]
+			ln.pending = append(ln.pending, dl)
+			d.stats.Dropped++
+			d.stats.Enqueued++
+			ln.stats.Dropped++
+			ln.stats.Enqueued++
+			return nil
 		default: // Block
 			d.space.Wait()
 		}
@@ -239,7 +283,11 @@ func (d *Dispatcher) worker() {
 		ln.active = true
 		d.queued--
 		d.running++
-		d.space.Signal()
+		// Broadcast, not Signal: Block-policy waiters may be waiting on
+		// different conditions (shared-queue space vs a specific lane's
+		// quota), and waking only one can strand a waiter whose condition
+		// just became true.
+		d.space.Broadcast()
 		d.mu.Unlock()
 
 		err := runDelivery(dl)

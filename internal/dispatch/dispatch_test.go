@@ -305,3 +305,141 @@ func waitRunning(t *testing.T, d *Dispatcher, n int64) {
 		time.Sleep(100 * time.Microsecond)
 	}
 }
+
+// TestLaneQuotaPreventsStarvation: a flooding trigger is capped at its
+// quota, leaving shared-queue space for other triggers even though the
+// flooder alone would fill it.
+func TestLaneQuotaPreventsStarvation(t *testing.T) {
+	d := New(Config{Workers: 1, QueueCap: 8, LaneQuota: 2, Policy: DropNewest})
+	defer d.Close()
+	gate := make(chan struct{})
+	if err := d.Enqueue(Delivery{Trigger: "hold", Run: func() error { <-gate; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, d, 1)
+	// The flooder tries to queue 20; only LaneQuota=2 may sit queued.
+	var flooded atomic.Int32
+	for i := 0; i < 20; i++ {
+		if err := d.Enqueue(Delivery{Trigger: "flood", Run: func() error { flooded.Add(1); return nil }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ls, _ := d.TriggerStats("flood"); ls.Queued != 2 || ls.Dropped != 18 {
+		t.Fatalf("flood lane = %+v, want Queued=2 Dropped=18", ls)
+	}
+	// A well-behaved trigger still gets in: the flooder did not own the
+	// shared queue.
+	var quiet atomic.Int32
+	if err := d.Enqueue(Delivery{Trigger: "quiet", Run: func() error { quiet.Add(1); return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	d.Drain()
+	if flooded.Load() != 2 || quiet.Load() != 1 {
+		t.Errorf("flooded=%d quiet=%d, want 2 and 1", flooded.Load(), quiet.Load())
+	}
+}
+
+// TestPolicyDropOldest: at quota, the lane keeps the freshest deliveries
+// in FIFO order and drops from the head.
+func TestPolicyDropOldest(t *testing.T) {
+	d := New(Config{Workers: 1, QueueCap: 64, LaneQuota: 3, Policy: DropOldest})
+	defer d.Close()
+	gate := make(chan struct{})
+	if err := d.Enqueue(Delivery{Trigger: "t", Run: func() error { <-gate; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, d, 1)
+	var mu sync.Mutex
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := d.Enqueue(Delivery{Trigger: "t", Run: func() error {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+			return nil
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	d.Drain()
+	// Quota 3: the lane kept the newest three (7, 8, 9), in order.
+	if len(got) != 3 || got[0] != 7 || got[1] != 8 || got[2] != 9 {
+		t.Fatalf("ran %v, want [7 8 9] (oldest dropped, order kept)", got)
+	}
+	if st := d.Stats(); st.Dropped != 7 {
+		t.Errorf("Dropped = %d, want 7", st.Dropped)
+	}
+}
+
+// TestDropOldestNeverDisplacesOtherLanes: when the shared queue is full of
+// other triggers' work, DropOldest with an empty own lane degrades to
+// dropping the incoming delivery.
+func TestDropOldestNeverDisplacesOtherLanes(t *testing.T) {
+	d := New(Config{Workers: 1, QueueCap: 2, Policy: DropOldest})
+	defer d.Close()
+	gate := make(chan struct{})
+	var aRan atomic.Int32
+	if err := d.Enqueue(Delivery{Trigger: "a", Run: func() error { <-gate; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, d, 1)
+	for i := 0; i < 2; i++ {
+		if err := d.Enqueue(Delivery{Trigger: "a", Run: func() error { aRan.Add(1); return nil }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Queue full with a's work; b has nothing queued to displace.
+	var bRan atomic.Int32
+	if err := d.Enqueue(Delivery{Trigger: "b", Run: func() error { bRan.Add(1); return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	d.Drain()
+	if aRan.Load() != 2 || bRan.Load() != 0 {
+		t.Errorf("a ran %d (want 2), b ran %d (want 0: dropped, not displacing)", aRan.Load(), bRan.Load())
+	}
+	if ls, ok := d.TriggerStats("b"); !ok || ls.Dropped != 1 {
+		t.Errorf("lane b = %+v, want Dropped=1", ls)
+	}
+}
+
+// TestBlockWakesLaneQuotaWaiters: with Block policy and a lane quota, an
+// enqueuer blocked on its lane's quota (not the shared queue) must wake
+// when that lane drains.
+func TestBlockWakesLaneQuotaWaiters(t *testing.T) {
+	d := New(Config{Workers: 2, QueueCap: 1024, LaneQuota: 1, Policy: Block})
+	defer d.Close()
+	gate := make(chan struct{})
+	if err := d.Enqueue(Delivery{Trigger: "t", Run: func() error { <-gate; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, d, 1)
+	if err := d.Enqueue(Delivery{Trigger: "t", Run: func() error { return nil }}); err != nil {
+		t.Fatal(err) // fills the quota-1 lane
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- d.Enqueue(Delivery{Trigger: "t", Run: func() error { return nil }})
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("enqueue returned %v before the lane drained", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked enqueuer never woke after the lane drained")
+	}
+	d.Drain()
+	if st := d.Stats(); st.Completed != 3 || st.Dropped != 0 {
+		t.Errorf("stats = %+v, want Completed=3 Dropped=0", st)
+	}
+}

@@ -1,0 +1,373 @@
+package reldb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"quark/internal/schema"
+	"quark/internal/xdm"
+)
+
+// countingTrigger installs one counter trigger per event on the table and
+// returns the counters indexed by event.
+func countingTriggers(t *testing.T, db *DB, table string) map[Event]*int {
+	t.Helper()
+	counts := map[Event]*int{}
+	for _, ev := range []Event{EvInsert, EvUpdate, EvDelete} {
+		ev := ev
+		n := new(int)
+		counts[ev] = n
+		err := db.CreateTrigger(&SQLTrigger{
+			Name:  fmt.Sprintf("count_%s_%s", table, ev),
+			Table: table,
+			Event: ev,
+			Body:  func(*FireContext) error { *n++; return nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return counts
+}
+
+// TestZeroRowStatementsFireNothing: statements whose transition tables
+// would be empty fire no triggers — Insert included, which used to fire
+// every INSERT trigger with an empty Δ on `Insert("t")`.
+func TestZeroRowStatementsFireNothing(t *testing.T) {
+	db := pvDB(t)
+	loadPaperData(t, db)
+	counts := countingTriggers(t, db, "vendor")
+
+	none := func(Row) bool { return false }
+	if err := db.Insert("vendor"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Update("vendor", none, func(r Row) Row { return r }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Delete("vendor", none); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := db.UpdateByPK("vendor", []xdm.Value{xdm.Str("Nobody"), xdm.Str("P9")}, func(r Row) Row { return r }); err != nil || ok {
+		t.Fatalf("UpdateByPK on missing row: ok=%v err=%v", ok, err)
+	}
+	if ok, err := db.DeleteByPK("vendor", xdm.Str("Nobody"), xdm.Str("P9")); err != nil || ok {
+		t.Fatalf("DeleteByPK on missing row: ok=%v err=%v", ok, err)
+	}
+	for ev, n := range counts {
+		if *n != 0 {
+			t.Errorf("%s trigger fired %d times on zero-row statements, want 0", ev, *n)
+		}
+	}
+}
+
+// TestZeroRowTxFiresNothing: a transaction whose net effect is empty —
+// zero-row statements, or changes that cancel out — commits without
+// firing.
+func TestZeroRowTxFiresNothing(t *testing.T) {
+	db := pvDB(t)
+	loadPaperData(t, db)
+	counts := countingTriggers(t, db, "vendor")
+
+	tx := db.Begin()
+	if err := tx.Insert("vendor"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Update("vendor", func(Row) bool { return false }, func(r Row) Row { return r }); err != nil {
+		t.Fatal(err)
+	}
+	// Insert then delete the same row: net nothing.
+	if err := tx.Insert("vendor", Row{xdm.Str("Temp"), xdm.Str("P1"), xdm.Float(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := tx.DeleteByPK("vendor", xdm.Str("Temp"), xdm.Str("P1")); err != nil || !ok {
+		t.Fatalf("delete of in-tx insert: ok=%v err=%v", ok, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for ev, n := range counts {
+		if *n != 0 {
+			t.Errorf("%s trigger fired %d times on a net-empty transaction, want 0", ev, *n)
+		}
+	}
+}
+
+// TestTriggerBodyMutatingTriggers: a body that drops a later trigger and
+// creates a new one must not make the firing wave skip or double-fire
+// neighbors — the wave runs the statement-time snapshot exactly once
+// each, and the new trigger joins from the next statement on.
+func TestTriggerBodyMutatingTriggers(t *testing.T) {
+	db := pvDB(t)
+	loadPaperData(t, db)
+	var fired []string
+	record := func(name string) func(*FireContext) error {
+		return func(*FireContext) error {
+			fired = append(fired, name)
+			return nil
+		}
+	}
+	addLate := func(name string) error {
+		return db.CreateTrigger(&SQLTrigger{Name: name, Table: "vendor", Event: EvUpdate, Body: record(name)})
+	}
+	mutator := func(*FireContext) error {
+		fired = append(fired, "A")
+		if err := db.DropTrigger("C"); err != nil {
+			return err
+		}
+		return addLate("D")
+	}
+	if err := db.CreateTrigger(&SQLTrigger{Name: "A", Table: "vendor", Event: EvUpdate, Body: mutator}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"B", "C"} {
+		if err := addLate(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bump := func() {
+		t.Helper()
+		if _, err := db.UpdateByPK("vendor", []xdm.Value{xdm.Str("Amazon"), xdm.Str("P1")}, func(r Row) Row {
+			r[2] = xdm.Float(r[2].AsFloat() + 1)
+			return r
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bump()
+	if got := strings.Join(fired, ","); got != "A,B,C" {
+		t.Fatalf("first wave fired %q, want \"A,B,C\" (snapshot: C still fires, D not yet)", got)
+	}
+	// Drop the mutator (its body would fail dropping the now-gone C) and
+	// check the steady state: C stays gone, D fires from this wave on.
+	fired = nil
+	if err := db.DropTrigger("A"); err != nil {
+		t.Fatal(err)
+	}
+	bump()
+	if got := strings.Join(fired, ","); got != "B,D" {
+		t.Fatalf("second wave fired %q, want \"B,D\"", got)
+	}
+}
+
+// TestTriggerBodyCreatesTriggerNoSkip: creating a trigger mid-wave (which
+// grows the registered set) must not re-fire or skip the remaining
+// statement-time triggers, however many appends happen.
+func TestTriggerBodyCreatesTriggerNoSkip(t *testing.T) {
+	db := pvDB(t)
+	loadPaperData(t, db)
+	var fired []string
+	seq := 0
+	spawner := func(*FireContext) error {
+		fired = append(fired, "S")
+		seq++
+		name := fmt.Sprintf("spawn%d", seq)
+		return db.CreateTrigger(&SQLTrigger{
+			Name: name, Table: "vendor", Event: EvDelete,
+			Body: func(*FireContext) error { fired = append(fired, name); return nil },
+		})
+	}
+	if err := db.CreateTrigger(&SQLTrigger{Name: "S", Table: "vendor", Event: EvDelete, Body: spawner}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"T1", "T2"} {
+		n := n
+		if err := db.CreateTrigger(&SQLTrigger{Name: n, Table: "vendor", Event: EvDelete,
+			Body: func(*FireContext) error { fired = append(fired, n); return nil }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Delete("vendor", func(r Row) bool { return r[0].AsString() == "Buy.com" }); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(fired, ","); got != "S,T1,T2" {
+		t.Fatalf("wave fired %q, want \"S,T1,T2\"", got)
+	}
+	fired = nil
+	if _, err := db.Delete("vendor", func(r Row) bool { return r[0].AsString() == "Bestbuy" && r[1].AsString() == "P3" }); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(fired, ","); got != "S,T1,T2,spawn1" {
+		t.Fatalf("second wave fired %q, want \"S,T1,T2,spawn1\"", got)
+	}
+}
+
+// transitionKeys renders a transition table's rows compactly.
+func transitionKeys(rows []Row) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = r[0].AsString() + "/" + r[1].AsString()
+	}
+	return strings.Join(parts, ",")
+}
+
+// TestTransitionOrderDeterministic: multi-row UPDATE and DELETE must
+// present Δ/∇ in a stable (storage-key-sorted) order on every run, not in
+// Go map iteration order.
+func TestTransitionOrderDeterministic(t *testing.T) {
+	const rounds = 25
+	var updOrder, delOrder string
+	for round := 0; round < rounds; round++ {
+		db := pvDB(t)
+		loadPaperData(t, db)
+		var gotUpd, gotDel string
+		err := db.CreateTrigger(&SQLTrigger{Name: "u", Table: "vendor", Event: EvUpdate,
+			Body: func(ctx *FireContext) error {
+				gotUpd = transitionKeys(ctx.Inserted) + "|" + transitionKeys(ctx.Deleted)
+				return nil
+			}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = db.CreateTrigger(&SQLTrigger{Name: "d", Table: "vendor", Event: EvDelete,
+			Body: func(ctx *FireContext) error {
+				gotDel = transitionKeys(ctx.Deleted)
+				return nil
+			}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Update("vendor", func(Row) bool { return true }, func(r Row) Row {
+			r[2] = xdm.Float(r[2].AsFloat() + 5)
+			return r
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Delete("vendor", func(Row) bool { return true }); err != nil {
+			t.Fatal(err)
+		}
+		if round == 0 {
+			updOrder, delOrder = gotUpd, gotDel
+			if updOrder == "" || delOrder == "" {
+				t.Fatal("triggers did not fire")
+			}
+			continue
+		}
+		if gotUpd != updOrder {
+			t.Fatalf("round %d: UPDATE transition order %q != round 0 %q", round, gotUpd, updOrder)
+		}
+		if gotDel != delOrder {
+			t.Fatalf("round %d: DELETE transition order %q != round 0 %q", round, gotDel, delOrder)
+		}
+	}
+	// The stable order is also the UPDATE pairs' alignment contract:
+	// Deleted[i] must be the old version of Inserted[i].
+	parts := strings.SplitN(updOrder, "|", 2)
+	if parts[0] != parts[1] {
+		t.Fatalf("UPDATE pairs misaligned: Δ %q vs ∇ %q", parts[0], parts[1])
+	}
+}
+
+// noPKSchema builds one table without a primary key (synthetic rowids).
+func noPKSchema(t *testing.T) *DB {
+	t.Helper()
+	s := schema.New()
+	s.MustAddTable(&schema.Table{
+		Name: "events",
+		Columns: []schema.Column{
+			{Name: "kind", Type: schema.TString},
+			{Name: "val", Type: schema.TInt},
+		},
+	})
+	db, err := Open(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestRollbackRestoresAutoID: a rolled-back transaction must return a
+// no-PK table's rowid counter to its pre-transaction value, so re-running
+// the same inserts allocates the same storage keys as the first attempt.
+func TestRollbackRestoresAutoID(t *testing.T) {
+	db := noPKSchema(t)
+	if err := db.Insert("events", Row{xdm.Str("boot"), xdm.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	before := db.tables["events"].autoID
+
+	tx := db.Begin()
+	if err := tx.Insert("events",
+		Row{xdm.Str("a"), xdm.Int(2)},
+		Row{xdm.Str("b"), xdm.Int(3)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.tables["events"].autoID; got != before {
+		t.Fatalf("autoID after rollback = %d, want %d", got, before)
+	}
+	if db.RowCount("events") != 1 {
+		t.Fatalf("row count after rollback = %d, want 1", db.RowCount("events"))
+	}
+
+	// The re-run allocates the same keys: committing the same two inserts
+	// after the rollback must leave the table with contiguous rowids
+	// (observable as the re-insert landing in the rolled-back keys).
+	tx2 := db.Begin()
+	if err := tx2.Insert("events",
+		Row{xdm.Str("a"), xdm.Int(2)},
+		Row{xdm.Str("b"), xdm.Int(3)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.tables["events"].autoID; got != before+2 {
+		t.Fatalf("autoID after re-run = %d, want %d", got, before+2)
+	}
+}
+
+// TestCheckFKNonPKFallbackCountsScan: foreign keys referencing non-PK
+// columns validate via a whole-table scan of the referenced table, which
+// must be visible in Stats.FullScans.
+func TestCheckFKNonPKFallbackCountsScan(t *testing.T) {
+	s := schema.New()
+	s.MustAddTable(&schema.Table{
+		Name: "parent",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.TInt},
+			{Name: "code", Type: schema.TString},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	s.MustAddTable(&schema.Table{
+		Name: "child",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.TInt},
+			{Name: "pcode", Type: schema.TString},
+		},
+		PrimaryKey: []string{"id"},
+		ForeignKeys: []schema.ForeignKey{
+			{Columns: []string{"pcode"}, RefTable: "parent", RefColumns: []string{"code"}},
+		},
+	})
+	db, err := Open(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetEnforceFKs(true)
+	if err := db.Insert("parent", Row{xdm.Int(1), xdm.Str("X")}); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetStats()
+	if err := db.Insert("child", Row{xdm.Int(10), xdm.Str("X")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().FullScans; got != 1 {
+		t.Errorf("FullScans after non-PK FK check = %d, want 1", got)
+	}
+	// The full-PK fast path stays scan-free.
+	db.ResetStats()
+	if err := db.Insert("parent", Row{xdm.Int(2), xdm.Str("Y")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().FullScans; got != 0 {
+		t.Errorf("FullScans on PK-referencing insert = %d, want 0", got)
+	}
+}

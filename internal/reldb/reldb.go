@@ -13,6 +13,7 @@ package reldb
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"quark/internal/schema"
@@ -318,6 +319,10 @@ func (db *DB) checkFK(td *tableData, fk schema.ForeignKey, r Row) error {
 	for i, rc := range fk.RefColumns {
 		refIdx[i] = ref.def.ColIndex(rc)
 	}
+	// Non-PK fallback: a whole-table scan of the referenced table, which
+	// must show up in the stats like every other scan so access-path
+	// assertions (and capacity planning) see it.
+	db.stats.fullScans.Add(1)
 	for _, row := range ref.rows {
 		match := true
 		for i, ri := range refIdx {
@@ -456,11 +461,18 @@ func (db *DB) applyInsert(table string, rows []Row) (*tableData, []keyedRow, err
 
 // Insert adds rows to the table as one statement, then fires AFTER INSERT
 // triggers with Δtable = rows. The statement is all-or-nothing: primary-key
-// or type violations roll the whole statement back.
+// or type violations roll the whole statement back. A statement that
+// inserted nothing fires nothing, matching Delete/Update (statement-level
+// triggers still see an empty transition table in real SQL engines, but
+// our translated bodies — and the paper's — have nothing to detect in an
+// empty Δ, so the firing would be pure overhead).
 func (db *DB) Insert(table string, rows ...Row) error {
 	_, inserted, err := db.applyInsert(table, rows)
 	if err != nil {
 		return err
+	}
+	if len(inserted) == 0 {
+		return nil
 	}
 	return db.fire(table, EvInsert, rowsOf(inserted), nil, nil)
 }
@@ -485,6 +497,11 @@ func (db *DB) applyDelete(table string, pred func(Row) bool) ([]keyedRow, error)
 			removed = append(removed, keyedRow{key: k, row: r})
 		}
 	}
+	// Sort by storage key: td.rows is a map, and map order would make the
+	// ∇table row order (and everything derived from it — activation order,
+	// sink output, the outbox log) vary run to run. Tx.net already fires
+	// in sorted key order; the single-statement path must match.
+	sort.Slice(removed, func(i, j int) bool { return removed[i].key < removed[j].key })
 	for _, kr := range removed {
 		td.indexRemove(kr.row, kr.key)
 		delete(td.rows, kr.key)
@@ -544,12 +561,19 @@ func (db *DB) applyUpdate(table string, pred func(Row) bool, set func(Row) Row) 
 	var changes []updateChange
 	for k, r := range td.rows {
 		if pred(r) {
-			nr := set(r.Copy())
-			if err := db.validateRow(td, nr); err != nil {
-				return nil, err
-			}
-			changes = append(changes, updateChange{oldKey: k, old: r, new: nr})
+			changes = append(changes, updateChange{oldKey: k, old: r})
 		}
+	}
+	// Sort by pre-update storage key before calling set: deterministic
+	// Δ/∇ row order (map order varies run to run), and set observes rows
+	// in a stable order too, matching what a sorted scan would do.
+	sort.Slice(changes, func(i, j int) bool { return changes[i].oldKey < changes[j].oldKey })
+	for i := range changes {
+		nr := set(changes[i].old.Copy())
+		if err := db.validateRow(td, nr); err != nil {
+			return nil, err
+		}
+		changes[i].new = nr
 	}
 	// Check PK collisions after removal of the old keys.
 	if len(td.pkIdx) > 0 {
@@ -665,7 +689,15 @@ func (db *DB) fire(table string, ev Event, inserted, deleted []Row, batch *Batch
 	defer td.fireDepth.Add(-1)
 	depth := db.nesting.Add(1)
 	defer db.nesting.Add(-1)
-	for _, tr := range db.triggers {
+	// Snapshot the trigger list: a trigger body may call CreateTrigger or
+	// DropTrigger, and iterating the live slice while it is rewritten
+	// skips or double-fires neighbors. CreateTrigger/DropTrigger never
+	// mutate the published slice in place (copy-on-write), so holding the
+	// header captured here is a stable view of the statement-time set:
+	// triggers installed when the statement completed fire; triggers
+	// created by a body join from the next statement on.
+	triggers := db.triggers
+	for _, tr := range triggers {
 		if tr.Table != table || tr.Event != ev {
 			continue
 		}
@@ -700,7 +732,11 @@ func (db *DB) CreateTrigger(tr *SQLTrigger) error {
 	if tr.Body == nil {
 		return fmt.Errorf("reldb: trigger %q has no body", tr.Name)
 	}
-	db.triggers = append(db.triggers, tr)
+	// Copy-on-write: in-flight firing waves iterate the slice header they
+	// captured, so the published slice must never be appended to in place.
+	next := make([]*SQLTrigger, len(db.triggers), len(db.triggers)+1)
+	copy(next, db.triggers)
+	db.triggers = append(next, tr)
 	db.byName[tr.Name] = tr
 	return nil
 }
@@ -711,12 +747,15 @@ func (db *DB) DropTrigger(name string) error {
 		return fmt.Errorf("reldb: no trigger %q", name)
 	}
 	delete(db.byName, name)
-	for i, tr := range db.triggers {
-		if tr.Name == name {
-			db.triggers = append(db.triggers[:i], db.triggers[i+1:]...)
-			break
+	// Copy-on-write, as in CreateTrigger: rebuild rather than splice so an
+	// in-flight firing wave keeps its stable snapshot.
+	next := make([]*SQLTrigger, 0, len(db.triggers)-1)
+	for _, tr := range db.triggers {
+		if tr.Name != name {
+			next = append(next, tr)
 		}
 	}
+	db.triggers = next
 	return nil
 }
 

@@ -45,12 +45,34 @@ type Tx struct {
 	// (declared-footprint batches, Engine.BatchTables); a mutation of any
 	// other table fails before applying.
 	allowed map[string]bool
+	// autoIDs snapshots a table's synthetic-rowid counter before the
+	// transaction's first insert into it, so Rollback can restore it: a
+	// rolled-back transaction must leave no trace, and a drifted counter
+	// would give re-run inserts different storage keys than the original
+	// attempt (observable through key-ordered transition tables).
+	autoIDs map[string]int64
 	done    bool
 }
 
 // Begin starts a batched transaction.
 func (db *DB) Begin() *Tx {
-	return &Tx{db: db, touched: map[string]map[string]Row{}, moved: map[string]map[string]string{}}
+	return &Tx{
+		db:      db,
+		touched: map[string]map[string]Row{},
+		moved:   map[string]map[string]string{},
+		autoIDs: map[string]int64{},
+	}
+}
+
+// snapAutoID records the table's pre-transaction rowid counter the first
+// time the transaction is about to insert into it.
+func (tx *Tx) snapAutoID(table string) {
+	if _, ok := tx.autoIDs[table]; ok {
+		return
+	}
+	if td, ok := tx.db.tables[table]; ok {
+		tx.autoIDs[table] = td.autoID
+	}
 }
 
 func (tx *Tx) tableTouched(table string) map[string]Row {
@@ -141,6 +163,7 @@ func (tx *Tx) Insert(table string, rows ...Row) error {
 	if err := tx.checkTable(table); err != nil {
 		return err
 	}
+	tx.snapAutoID(table)
 	_, inserted, err := tx.db.applyInsert(table, rows)
 	if err != nil {
 		return err
@@ -387,6 +410,11 @@ func (tx *Tx) Rollback() error {
 				td.indexAdd(pre, k)
 			}
 		}
+	}
+	// Restore synthetic rowid counters for no-PK tables: the rows the
+	// transaction inserted are gone, so their allocated ids must be too.
+	for t, id := range tx.autoIDs {
+		tx.db.tables[t].autoID = id
 	}
 	return nil
 }

@@ -1,0 +1,722 @@
+// Package wire is the serialization boundary of the trigger pipeline: a
+// deterministic, self-describing codec for trigger invocations. The paper
+// defines an action as "a call to an external function" (Section 2.2), and
+// an external function lives in another process — so the engine's
+// in-memory Invocation (trigger name, view-level event, OLD_NODE/NEW_NODE
+// XDM trees, evaluated action arguments) must cross a byte boundary
+// without losing information and without requiring the consumer to run a
+// live engine. Records round-trip exactly: Decode(Encode(r)) reproduces r
+// field-for-field, including whitespace-only text nodes and the bit
+// pattern of float arguments, which the XML serializer cannot promise.
+//
+// Two encodings are provided over the same Record:
+//
+//   - a compact length-prefixed binary form (Encode/Decode), used by the
+//     outbox segment log, deterministic byte-for-byte for equal records;
+//   - a JSON form (MarshalJSON/UnmarshalJSON), for file/pipe consumers
+//     that want self-describing deltas greppable without this package.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"quark/internal/reldb"
+	"quark/internal/xdm"
+)
+
+// Record is one serialized trigger invocation. Seq is the outbox sequence
+// number (0 until assigned by an append); the remaining fields mirror
+// core.Invocation.
+type Record struct {
+	Seq     uint64
+	Trigger string
+	Event   reldb.Event
+	Old     *xdm.Node // nil for INSERT events
+	New     *xdm.Node // nil for DELETE events
+	Args    []xdm.Value
+}
+
+// Format versioning: a consumer rejecting an unknown version is how the
+// log stays replayable across releases.
+const (
+	magic   = 0xA7 // first byte of every binary record
+	version = 1
+)
+
+// Value kind tags in the binary form (decoupled from xdm.Kind's numeric
+// values so the wire format survives internal enum reordering).
+const (
+	tagNull  = 0
+	tagFalse = 1
+	tagTrue  = 2
+	tagInt   = 3
+	tagFloat = 4
+	tagStr   = 5
+	tagNode  = 6
+	tagSeq   = 7
+)
+
+// Node kind tags.
+const (
+	tagElem = 0
+	tagAttr = 1
+	tagText = 2
+)
+
+// maxNodeDepth bounds decoder recursion: CRC framing catches bit-rot but
+// not crafted input, and an unbounded nesting depth would let a few bytes
+// per level overflow the stack instead of returning an error. Real view
+// trees are a handful of levels deep; 10k is far beyond any of them.
+const maxNodeDepth = 10000
+
+// Encode renders the record in the deterministic binary form.
+func Encode(r *Record) []byte {
+	return AppendEncode(nil, r)
+}
+
+// AppendEncode appends the record's binary form to dst and returns the
+// extended slice.
+func AppendEncode(dst []byte, r *Record) []byte {
+	dst = append(dst, magic, version)
+	dst = binary.AppendUvarint(dst, r.Seq)
+	dst = appendString(dst, r.Trigger)
+	dst = append(dst, byte(r.Event))
+	dst = appendMaybeNode(dst, r.Old)
+	dst = appendMaybeNode(dst, r.New)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Args)))
+	for _, a := range r.Args {
+		dst = appendValue(dst, a)
+	}
+	return dst
+}
+
+// Decode parses a binary record. The whole input must be consumed:
+// trailing bytes are an error, so framing bugs surface here rather than
+// as silently skewed replays.
+func Decode(b []byte) (*Record, error) {
+	d := &decoder{b: b}
+	r, err := d.record()
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(d.b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after record", len(d.b)-d.pos)
+	}
+	return r, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendValue(dst []byte, v xdm.Value) []byte {
+	switch v.Kind() {
+	case xdm.KindNull:
+		return append(dst, tagNull)
+	case xdm.KindBool:
+		if v.AsBool() {
+			return append(dst, tagTrue)
+		}
+		return append(dst, tagFalse)
+	case xdm.KindInt:
+		dst = append(dst, tagInt)
+		return binary.AppendVarint(dst, v.AsInt())
+	case xdm.KindFloat:
+		dst = append(dst, tagFloat)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(v.AsFloat()))
+	case xdm.KindString:
+		dst = append(dst, tagStr)
+		return appendString(dst, v.AsString())
+	case xdm.KindNode:
+		dst = append(dst, tagNode)
+		return appendNode(dst, v.AsNode())
+	case xdm.KindSeq:
+		dst = append(dst, tagSeq)
+		seq := v.AsSeq()
+		dst = binary.AppendUvarint(dst, uint64(len(seq)))
+		for _, e := range seq {
+			dst = appendValue(dst, e)
+		}
+		return dst
+	default:
+		// Unreachable with the current xdm kinds; encode as null so the
+		// record stays parseable.
+		return append(dst, tagNull)
+	}
+}
+
+func appendMaybeNode(dst []byte, n *xdm.Node) []byte {
+	if n == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return appendNode(dst, n)
+}
+
+// appendNode encodes the node structurally (kind, name, text, attributes,
+// children) rather than as serialized XML: XML parsing normalizes
+// whitespace-only text nodes away, which would break round-trip equality.
+func appendNode(dst []byte, n *xdm.Node) []byte {
+	switch n.Kind {
+	case xdm.ElementNode:
+		dst = append(dst, tagElem)
+		dst = appendString(dst, n.Name)
+		dst = binary.AppendUvarint(dst, uint64(len(n.Attrs)))
+		for _, a := range n.Attrs {
+			dst = appendString(dst, a.Name)
+			dst = appendString(dst, a.Text)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(n.Children)))
+		for _, c := range n.Children {
+			dst = appendNode(dst, c)
+		}
+		return dst
+	case xdm.AttributeNode:
+		dst = append(dst, tagAttr)
+		dst = appendString(dst, n.Name)
+		return appendString(dst, n.Text)
+	default: // TextNode
+		dst = append(dst, tagText)
+		return appendString(dst, n.Text)
+	}
+}
+
+type decoder struct {
+	b     []byte
+	pos   int
+	depth int // current node-recursion depth
+}
+
+func (d *decoder) record() (*Record, error) {
+	m, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("wire: bad magic byte 0x%02x", m)
+	}
+	v, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("wire: unsupported record version %d", v)
+	}
+	r := &Record{}
+	if r.Seq, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if r.Trigger, err = d.string(); err != nil {
+		return nil, err
+	}
+	ev, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if ev > byte(reldb.EvDelete) {
+		return nil, fmt.Errorf("wire: unknown event %d", ev)
+	}
+	r.Event = reldb.Event(ev)
+	if r.Old, err = d.maybeNode(); err != nil {
+		return nil, err
+	}
+	if r.New, err = d.maybeNode(); err != nil {
+		return nil, err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.b)) {
+		return nil, fmt.Errorf("wire: argument count %d exceeds input", n)
+	}
+	if n > 0 {
+		r.Args = make([]xdm.Value, n)
+		for i := range r.Args {
+			if r.Args[i], err = d.value(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.b) {
+		return 0, fmt.Errorf("wire: truncated record at offset %d", d.pos)
+	}
+	c := d.b[d.pos]
+	d.pos++
+	return c, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: bad uvarint at offset %d", d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.b[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: bad varint at offset %d", d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.b)-d.pos) {
+		return "", fmt.Errorf("wire: string length %d exceeds input at offset %d", n, d.pos)
+	}
+	s := string(d.b[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+func (d *decoder) value() (xdm.Value, error) {
+	tag, err := d.byte()
+	if err != nil {
+		return xdm.Null, err
+	}
+	switch tag {
+	case tagNull:
+		return xdm.Null, nil
+	case tagFalse:
+		return xdm.False, nil
+	case tagTrue:
+		return xdm.True, nil
+	case tagInt:
+		i, err := d.varint()
+		return xdm.Int(i), err
+	case tagFloat:
+		if len(d.b)-d.pos < 8 {
+			return xdm.Null, fmt.Errorf("wire: truncated float at offset %d", d.pos)
+		}
+		bits := binary.BigEndian.Uint64(d.b[d.pos:])
+		d.pos += 8
+		return xdm.Float(math.Float64frombits(bits)), nil
+	case tagStr:
+		s, err := d.string()
+		return xdm.Str(s), err
+	case tagNode:
+		n, err := d.node()
+		return xdm.NodeVal(n), err
+	case tagSeq:
+		n, err := d.uvarint()
+		if err != nil {
+			return xdm.Null, err
+		}
+		if n > uint64(len(d.b)-d.pos) {
+			return xdm.Null, fmt.Errorf("wire: sequence length %d exceeds input", n)
+		}
+		seq := make([]xdm.Value, n)
+		for i := range seq {
+			if seq[i], err = d.value(); err != nil {
+				return xdm.Null, err
+			}
+		}
+		return xdm.Seq(seq), nil
+	default:
+		return xdm.Null, fmt.Errorf("wire: unknown value tag %d at offset %d", tag, d.pos-1)
+	}
+}
+
+func (d *decoder) maybeNode() (*xdm.Node, error) {
+	present, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch present {
+	case 0:
+		return nil, nil
+	case 1:
+		return d.node()
+	default:
+		return nil, fmt.Errorf("wire: bad node presence byte %d", present)
+	}
+}
+
+func (d *decoder) node() (*xdm.Node, error) {
+	if d.depth++; d.depth > maxNodeDepth {
+		return nil, fmt.Errorf("wire: node nesting exceeds depth %d", maxNodeDepth)
+	}
+	defer func() { d.depth-- }()
+	tag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagElem:
+		n := &xdm.Node{Kind: xdm.ElementNode}
+		if n.Name, err = d.string(); err != nil {
+			return nil, err
+		}
+		na, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if na > uint64(len(d.b)-d.pos) {
+			return nil, fmt.Errorf("wire: attribute count %d exceeds input", na)
+		}
+		for i := uint64(0); i < na; i++ {
+			name, err := d.string()
+			if err != nil {
+				return nil, err
+			}
+			text, err := d.string()
+			if err != nil {
+				return nil, err
+			}
+			n.Attrs = append(n.Attrs, xdm.Attr(name, text))
+		}
+		nc, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nc > uint64(len(d.b)-d.pos) {
+			return nil, fmt.Errorf("wire: child count %d exceeds input", nc)
+		}
+		for i := uint64(0); i < nc; i++ {
+			c, err := d.node()
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, c)
+		}
+		return n, nil
+	case tagAttr:
+		n := &xdm.Node{Kind: xdm.AttributeNode}
+		if n.Name, err = d.string(); err != nil {
+			return nil, err
+		}
+		if n.Text, err = d.string(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case tagText:
+		n := &xdm.Node{Kind: xdm.TextNode}
+		if n.Text, err = d.string(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown node tag %d at offset %d", tag, d.pos-1)
+	}
+}
+
+// Equal reports field-for-field record equality, the codec's round-trip
+// contract: Equal(r, mustDecode(Encode(r))) for every valid r.
+func Equal(a, b *Record) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Seq != b.Seq || a.Trigger != b.Trigger || a.Event != b.Event {
+		return false
+	}
+	if !nodeEqual(a.Old, b.Old) || !nodeEqual(a.New, b.New) {
+		return false
+	}
+	if len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !valueEqual(a.Args[i], b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeEqual is structural equality including attribute order and
+// whitespace-only text nodes — stricter than xdm.(*Node).DeepEqual, which
+// treats attributes as unordered. The codec preserves order, so Equal
+// checks it.
+func nodeEqual(a, b *xdm.Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Name != b.Name || a.Text != b.Text ||
+		len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i].Name != b.Attrs[i].Name || a.Attrs[i].Text != b.Attrs[i].Text {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !nodeEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// valueEqual distinguishes kinds the way the codec does: unlike xdm.Equal
+// it does not unify 2 (int) with 2.0 (float), and it compares floats by
+// bit pattern so NaN round-trips count as equal.
+func valueEqual(a, b xdm.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case xdm.KindFloat:
+		return math.Float64bits(a.AsFloat()) == math.Float64bits(b.AsFloat())
+	case xdm.KindNode:
+		return nodeEqual(a.AsNode(), b.AsNode())
+	case xdm.KindSeq:
+		as, bs := a.AsSeq(), b.AsSeq()
+		if len(as) != len(bs) {
+			return false
+		}
+		for i := range as {
+			if !valueEqual(as[i], bs[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return xdm.Equal(a, b)
+	}
+}
+
+// --- JSON form ---
+
+// jsonRecord is the JSON shape of a Record: every field self-describing,
+// large integers carried as strings so no consumer mangles them through
+// float64.
+type jsonRecord struct {
+	Seq     uint64      `json:"seq"`
+	Trigger string      `json:"trigger"`
+	Event   string      `json:"event"`
+	Old     *jsonNode   `json:"old,omitempty"`
+	New     *jsonNode   `json:"new,omitempty"`
+	Args    []jsonValue `json:"args,omitempty"`
+}
+
+type jsonNode struct {
+	Kind     string      `json:"kind"`
+	Name     string      `json:"name,omitempty"`
+	Text     string      `json:"text,omitempty"`
+	Attrs    [][2]string `json:"attrs,omitempty"`
+	Children []*jsonNode `json:"children,omitempty"`
+}
+
+type jsonValue struct {
+	Kind  string      `json:"kind"`
+	Bool  *bool       `json:"bool,omitempty"`
+	Int   *string     `json:"int,omitempty"` // decimal string: exact int64
+	Float *string     `json:"float,omitempty"`
+	Str   *string     `json:"str,omitempty"`
+	Node  *jsonNode   `json:"node,omitempty"`
+	Seq   []jsonValue `json:"seq,omitempty"`
+}
+
+// MarshalJSON renders the record in the self-describing JSON form. The
+// output is deterministic: field order is fixed by the struct layout,
+// ints are decimal strings, and floats are the hex digits of their IEEE
+// bit pattern (see toJSONValue) so no consumer mangles them through a
+// decimal round trip.
+func (r *Record) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonRecord{
+		Seq:     r.Seq,
+		Trigger: r.Trigger,
+		Event:   r.Event.String(),
+		Old:     toJSONNode(r.Old),
+		New:     toJSONNode(r.New),
+		Args:    toJSONValues(r.Args),
+	})
+}
+
+// UnmarshalJSON parses the JSON form produced by MarshalJSON.
+func (r *Record) UnmarshalJSON(b []byte) error {
+	var jr jsonRecord
+	if err := json.Unmarshal(b, &jr); err != nil {
+		return err
+	}
+	ev, err := parseEvent(jr.Event)
+	if err != nil {
+		return err
+	}
+	args, err := fromJSONValues(jr.Args)
+	if err != nil {
+		return err
+	}
+	*r = Record{
+		Seq:     jr.Seq,
+		Trigger: jr.Trigger,
+		Event:   ev,
+		Old:     fromJSONNode(jr.Old),
+		New:     fromJSONNode(jr.New),
+		Args:    args,
+	}
+	return nil
+}
+
+func parseEvent(s string) (reldb.Event, error) {
+	for _, ev := range []reldb.Event{reldb.EvInsert, reldb.EvUpdate, reldb.EvDelete} {
+		if ev.String() == s {
+			return ev, nil
+		}
+	}
+	return 0, fmt.Errorf("wire: unknown event %q", s)
+}
+
+func toJSONNode(n *xdm.Node) *jsonNode {
+	if n == nil {
+		return nil
+	}
+	jn := &jsonNode{Name: n.Name, Text: n.Text}
+	switch n.Kind {
+	case xdm.ElementNode:
+		jn.Kind = "elem"
+	case xdm.AttributeNode:
+		jn.Kind = "attr"
+	default:
+		jn.Kind = "text"
+	}
+	for _, a := range n.Attrs {
+		jn.Attrs = append(jn.Attrs, [2]string{a.Name, a.Text})
+	}
+	for _, c := range n.Children {
+		jn.Children = append(jn.Children, toJSONNode(c))
+	}
+	return jn
+}
+
+// fromJSONNode needs no explicit depth cap: encoding/json itself rejects
+// documents nested deeper than 10000, which bounds this recursion.
+func fromJSONNode(jn *jsonNode) *xdm.Node {
+	if jn == nil {
+		return nil
+	}
+	n := &xdm.Node{Name: jn.Name, Text: jn.Text}
+	switch jn.Kind {
+	case "elem":
+		n.Kind = xdm.ElementNode
+	case "attr":
+		n.Kind = xdm.AttributeNode
+	default:
+		n.Kind = xdm.TextNode
+	}
+	for _, a := range jn.Attrs {
+		n.Attrs = append(n.Attrs, xdm.Attr(a[0], a[1]))
+	}
+	for _, c := range jn.Children {
+		n.Children = append(n.Children, fromJSONNode(c))
+	}
+	return n
+}
+
+func toJSONValues(vs []xdm.Value) []jsonValue {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]jsonValue, len(vs))
+	for i, v := range vs {
+		out[i] = toJSONValue(v)
+	}
+	return out
+}
+
+func toJSONValue(v xdm.Value) jsonValue {
+	switch v.Kind() {
+	case xdm.KindBool:
+		b := v.AsBool()
+		return jsonValue{Kind: "bool", Bool: &b}
+	case xdm.KindInt:
+		s := fmt.Sprintf("%d", v.AsInt())
+		return jsonValue{Kind: "int", Int: &s}
+	case xdm.KindFloat:
+		// Hex float form: exact bits, no shortest-representation parsing
+		// subtleties across JSON implementations.
+		s := fmt.Sprintf("%x", math.Float64bits(v.AsFloat()))
+		return jsonValue{Kind: "float", Float: &s}
+	case xdm.KindString:
+		s := v.AsString()
+		return jsonValue{Kind: "str", Str: &s}
+	case xdm.KindNode:
+		return jsonValue{Kind: "node", Node: toJSONNode(v.AsNode())}
+	case xdm.KindSeq:
+		return jsonValue{Kind: "seq", Seq: toJSONValues(v.AsSeq())}
+	default:
+		return jsonValue{Kind: "null"}
+	}
+}
+
+func fromJSONValues(js []jsonValue) ([]xdm.Value, error) {
+	if len(js) == 0 {
+		return nil, nil
+	}
+	out := make([]xdm.Value, len(js))
+	for i, jv := range js {
+		v, err := fromJSONValue(jv)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fromJSONValue(jv jsonValue) (xdm.Value, error) {
+	switch jv.Kind {
+	case "null":
+		return xdm.Null, nil
+	case "bool":
+		if jv.Bool == nil {
+			return xdm.Null, fmt.Errorf("wire: bool value missing payload")
+		}
+		return xdm.Bool(*jv.Bool), nil
+	case "int":
+		if jv.Int == nil {
+			return xdm.Null, fmt.Errorf("wire: int value missing payload")
+		}
+		// strconv, not Sscanf: the decoder must reject trailing garbage.
+		i, err := strconv.ParseInt(*jv.Int, 10, 64)
+		if err != nil {
+			return xdm.Null, fmt.Errorf("wire: bad int %q: %w", *jv.Int, err)
+		}
+		return xdm.Int(i), nil
+	case "float":
+		if jv.Float == nil {
+			return xdm.Null, fmt.Errorf("wire: float value missing payload")
+		}
+		bits, err := strconv.ParseUint(*jv.Float, 16, 64)
+		if err != nil {
+			return xdm.Null, fmt.Errorf("wire: bad float bits %q: %w", *jv.Float, err)
+		}
+		return xdm.Float(math.Float64frombits(bits)), nil
+	case "str":
+		if jv.Str == nil {
+			return xdm.Null, fmt.Errorf("wire: string value missing payload")
+		}
+		return xdm.Str(*jv.Str), nil
+	case "node":
+		return xdm.NodeVal(fromJSONNode(jv.Node)), nil
+	case "seq":
+		vs, err := fromJSONValues(jv.Seq)
+		if err != nil {
+			return xdm.Null, err
+		}
+		if vs == nil {
+			vs = []xdm.Value{}
+		}
+		return xdm.Seq(vs), nil
+	default:
+		return xdm.Null, fmt.Errorf("wire: unknown value kind %q", jv.Kind)
+	}
+}
