@@ -19,6 +19,7 @@ func TestExamplesSmoke(t *testing.T) {
 		"catalog":    "SQL triggers (grouped)",
 		"auction":    "notifications",
 		"stockwatch": "trigger firing(s)",
+		"shardfleet": "vendor followed: true",
 	}
 	for name, want := range cases {
 		name, want := name, want

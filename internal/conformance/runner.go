@@ -11,6 +11,7 @@ import (
 	"quark/internal/dispatch"
 	"quark/internal/outbox"
 	"quark/internal/reldb"
+	"quark/internal/shard"
 	"quark/internal/wire"
 	"quark/internal/xdm"
 )
@@ -54,23 +55,126 @@ type RunOpts struct {
 	// come out byte-identical to the synchronous goldens, proving the
 	// codec and the log lose nothing the action contract exposes.
 	Replayed bool
+	// Shards, when positive, runs the scenario on a sharded engine with
+	// that many shards (partitioned per the scenario's [routing] section),
+	// every statement routed or distributed by the shard layer. The log
+	// must STILL come out byte-identical to the single-engine goldens —
+	// the sharding subsystem's observational-equivalence claim.
+	Shards int
+}
+
+// runEngine is the slice of the engine surface the runner needs, served
+// by both the single core engine and the sharded fleet.
+type runEngine interface {
+	stmtWriter
+	LoadRow(table string, row reldb.Row) error
+	RegisterAction(name string, fn core.ActionFunc)
+	CreateView(name, src string) error
+	CreateTrigger(src string) error
+	Flush() error
+	EnableAsync(cfg dispatch.Config) error
+	EnableOutbox(lg *outbox.Log, sink outbox.Sink) error
+	Drain()
+	Close() error
+	Batch(fn func(stmtWriter) error) error
+}
+
+// coreRun adapts one core.Engine (initial data loads straight into the
+// store, as the goldens were generated).
+type coreRun struct {
+	e  *core.Engine
+	db *reldb.DB
+}
+
+func (r coreRun) LoadRow(table string, row reldb.Row) error { return r.db.Insert(table, row) }
+func (r coreRun) RegisterAction(name string, fn core.ActionFunc) {
+	r.e.RegisterAction(name, fn)
+}
+func (r coreRun) CreateView(name, src string) error {
+	_, err := r.e.CreateView(name, src)
+	return err
+}
+func (r coreRun) CreateTrigger(src string) error { return r.e.CreateTrigger(src) }
+func (r coreRun) Flush() error                   { return r.e.Flush() }
+func (r coreRun) EnableAsync(cfg dispatch.Config) error {
+	return r.e.EnableAsyncDispatch(cfg)
+}
+func (r coreRun) EnableOutbox(lg *outbox.Log, sink outbox.Sink) error {
+	return r.e.EnableOutbox(lg, sink)
+}
+func (r coreRun) Drain()       { r.e.Drain() }
+func (r coreRun) Close() error { return r.e.Close() }
+func (r coreRun) Insert(table string, rows ...reldb.Row) error {
+	return r.e.Insert(table, rows...)
+}
+func (r coreRun) Update(table string, pred func(reldb.Row) bool, set func(reldb.Row) reldb.Row) (int, error) {
+	return r.e.Update(table, pred, set)
+}
+func (r coreRun) Delete(table string, pred func(reldb.Row) bool) (int, error) {
+	return r.e.Delete(table, pred)
+}
+func (r coreRun) Batch(fn func(stmtWriter) error) error {
+	return r.e.Batch(func(tx *reldb.Tx) error { return fn(txWriter{tx}) })
+}
+
+// shardRun adapts a sharded engine; initial data routes through the
+// shard layer so the directory knows every row.
+type shardRun struct{ e *shard.Engine }
+
+func (r shardRun) LoadRow(table string, row reldb.Row) error { return r.e.Insert(table, row) }
+func (r shardRun) RegisterAction(name string, fn core.ActionFunc) {
+	r.e.RegisterAction(name, fn)
+}
+func (r shardRun) CreateView(name, src string) error { return r.e.CreateView(name, src) }
+func (r shardRun) CreateTrigger(src string) error    { return r.e.CreateTrigger(src) }
+func (r shardRun) Flush() error                      { return r.e.Flush() }
+func (r shardRun) EnableAsync(cfg dispatch.Config) error {
+	return r.e.EnableAsyncDispatch(cfg)
+}
+func (r shardRun) EnableOutbox(lg *outbox.Log, sink outbox.Sink) error {
+	return r.e.EnableOutbox(lg, sink)
+}
+func (r shardRun) Drain()       { r.e.Drain() }
+func (r shardRun) Close() error { return r.e.Close() }
+func (r shardRun) Insert(table string, rows ...reldb.Row) error {
+	return r.e.Insert(table, rows...)
+}
+func (r shardRun) Update(table string, pred func(reldb.Row) bool, set func(reldb.Row) reldb.Row) (int, error) {
+	return r.e.Update(table, pred, set)
+}
+func (r shardRun) Delete(table string, pred func(reldb.Row) bool) (int, error) {
+	return r.e.Delete(table, pred)
+}
+func (r shardRun) Batch(fn func(stmtWriter) error) error {
+	return r.e.Batch(func(tx *shard.Tx) error { return fn(tx) })
 }
 
 // RunStyle executes the scenario's script in the given translation mode
 // and style; see Run.
 func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
-	db, err := reldb.Open(sc.Schema)
-	if err != nil {
-		return "", err
+	var e runEngine
+	if opts.Shards > 0 {
+		se, err := shard.New(sc.Schema, shard.Config{
+			Shards: opts.Shards, Mode: mode, Routing: sc.Routing,
+		})
+		if err != nil {
+			return "", err
+		}
+		e = shardRun{se}
+	} else {
+		db, err := reldb.Open(sc.Schema)
+		if err != nil {
+			return "", err
+		}
+		e = coreRun{core.NewEngine(db, mode), db}
 	}
 	for _, dr := range sc.Data {
-		if err := db.Insert(dr.Table, dr.Row); err != nil {
+		if err := e.LoadRow(dr.Table, dr.Row); err != nil {
 			return "", err
 		}
 	}
-	e := core.NewEngine(db, mode)
 	if opts.Async {
-		if err := e.EnableAsyncDispatch(dispatch.Config{
+		if err := e.EnableAsync(dispatch.Config{
 			Workers: 8, QueueCap: 1024, Policy: dispatch.Block,
 		}); err != nil {
 			return "", err
@@ -110,7 +214,7 @@ func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
 		return nil
 	})
 	for _, v := range sc.Views {
-		if _, err := e.CreateView(v.Name, v.Src); err != nil {
+		if err := e.CreateView(v.Name, v.Src); err != nil {
 			return "", fmt.Errorf("view %s: %w", v.Name, err)
 		}
 	}
@@ -196,9 +300,9 @@ func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
 			i = j + 1
 			continue
 		default:
-			err := e.Batch(func(tx *reldb.Tx) error {
+			err := e.Batch(func(tx stmtWriter) error {
 				for _, bs := range block {
-					if err := sc.execStmt(txWriter{tx}, bs); err != nil {
+					if err := sc.execStmt(tx, bs); err != nil {
 						return fmt.Errorf("%s: %w", bs.Text, err)
 					}
 				}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"quark/internal/schema"
+	"quark/internal/shard"
 	"quark/internal/xdm"
 )
 
@@ -28,6 +29,12 @@ type Scenario struct {
 	Views    []View
 	Triggers []string
 	Script   []Stmt
+	// Routing declares how the scenario partitions under the sharded
+	// engine ([routing] section); tables without an entry use the shard
+	// package defaults. The declared routing must co-locate every view
+	// element's provenance — for the catalog scenarios that means routing
+	// product BY its grouping column pname, vendors via their product.
+	Routing []shard.TableRouting
 }
 
 // DataRow is one initial row of a table.
@@ -133,6 +140,8 @@ func Parse(src, name string) (*Scenario, error) {
 			err = sc.parseTable(trimmed)
 		case "data":
 			err = sc.parseData(trimmed)
+		case "routing":
+			err = sc.parseRouting(trimmed)
 		case "script":
 			err = sc.parseStmt(trimmed)
 		default:
@@ -198,6 +207,37 @@ func (sc *Scenario) parseTable(line string) error {
 		t.Columns = append(t.Columns, col)
 	}
 	return sc.Schema.AddTable(t)
+}
+
+// parseRouting parses one [routing] line:
+//
+//	<table>: by <col> [<col>...]   root table, partitioned by these columns
+//	<table>: via <parent-table>    child table, co-located with its parent
+func (sc *Scenario) parseRouting(line string) error {
+	table, rule, ok := strings.Cut(line, ":")
+	if !ok {
+		return fmt.Errorf("expected `<table>: by <cols>` or `<table>: via <parent>`, got %q", line)
+	}
+	table = strings.TrimSpace(table)
+	if _, err := sc.table(table); err != nil {
+		return err
+	}
+	fields := strings.Fields(rule)
+	if len(fields) < 2 {
+		return fmt.Errorf("routing rule %q needs `by <cols>` or `via <parent>`", rule)
+	}
+	switch fields[0] {
+	case "by":
+		sc.Routing = append(sc.Routing, shard.TableRouting{Table: table, ByColumns: fields[1:]})
+	case "via":
+		if len(fields) != 2 {
+			return fmt.Errorf("routing rule %q: via takes exactly one parent table", rule)
+		}
+		sc.Routing = append(sc.Routing, shard.TableRouting{Table: table, ViaParent: fields[1]})
+	default:
+		return fmt.Errorf("unknown routing rule %q (want by/via)", fields[0])
+	}
+	return nil
 }
 
 // parseData parses `<table>: v1 v2 v3`.

@@ -149,20 +149,39 @@ type Engine struct {
 	// ob, when non-nil, makes delivery durable: every activation is
 	// appended to the outbox log before it is delivered (inline or via the
 	// dispatcher) and acknowledged only after the sink accepted it.
-	// obLocks stripes a per-trigger mutex (by name hash) held across
+	// obStripes stripes a per-trigger mutex (by name hash) held across
 	// append+enqueue so log order always agrees with lane order for any
 	// one trigger; without it two statements on disjoint tables activating
 	// the same trigger could enqueue in the opposite order of their
 	// appends, and a replay would then reorder that trigger's deliveries.
 	// Striping (rather than one global mutex) keeps a writer parked in
 	// Block-policy backpressure from stalling unrelated triggers' durable
-	// deliveries — cross-trigger order carries no guarantee anyway.
-	ob      atomic.Pointer[outboxState]
-	obLocks [64]sync.Mutex
+	// deliveries — cross-trigger order carries no guarantee anyway. The
+	// stripe set is per-engine by default; engines sharing one outbox log
+	// (shards) share one stripe set via EnableOutboxShared, extending the
+	// invariant across engines.
+	ob        atomic.Pointer[outboxState]
+	obStripes *DeliveryStripes
+
+	// dispShared marks the dispatcher as externally owned (attached via
+	// AttachSharedDispatcher): Close drains it but must not stop it.
+	dispShared atomic.Bool
 
 	fires   atomic.Int64
 	actsRun atomic.Int64
 }
+
+// DeliveryStripes is the per-trigger mutex set serializing outbox append
+// with dispatcher enqueue. Engines that share one outbox log must also
+// share one DeliveryStripes so the log-order = lane-order invariant holds
+// for a trigger firing on several engines concurrently (the sharded
+// engine's case).
+type DeliveryStripes struct {
+	mu [64]sync.Mutex
+}
+
+// NewDeliveryStripes allocates a stripe set for engines sharing an outbox.
+func NewDeliveryStripes() *DeliveryStripes { return &DeliveryStripes{} }
 
 // outboxState pairs the durable log with the sink consuming it.
 type outboxState struct {
@@ -229,6 +248,7 @@ func NewEngine(db *reldb.DB, mode Mode) *Engine {
 	}
 	acts := map[string]ActionFunc{}
 	e.actions.Store(&acts)
+	e.obStripes = NewDeliveryStripes()
 	e.fkReads = map[string][]string{}
 	for _, t := range db.Schema().Tables() {
 		e.tableLocks[t.Name] = &sync.RWMutex{}
@@ -400,6 +420,27 @@ func (e *Engine) EnableAsyncDispatch(cfg dispatch.Config) error {
 		_ = d.Close() // lost the race: stop the freshly started pool
 		return fmt.Errorf("core: async dispatch already enabled")
 	}
+	e.dispShared.Store(false)
+	return nil
+}
+
+// AttachSharedDispatcher enables async delivery through a dispatcher the
+// caller owns (and may have attached to other engines — the sharded
+// engine's shared pool, which gives per-trigger FIFO lanes spanning every
+// shard). Close drains deliveries this engine handed to the pool but does
+// not stop it; stopping is the owner's job, after every attached engine
+// has closed. Returns an error if async dispatch is already enabled.
+func (e *Engine) AttachSharedDispatcher(d *dispatch.Dispatcher) error {
+	if d == nil {
+		return fmt.Errorf("core: AttachSharedDispatcher requires a dispatcher")
+	}
+	// CAS before marking shared: a failed attach must not flip an already
+	// owned dispatcher into drain-only Close semantics. Attaching must not
+	// race Close (both are setup/teardown-time calls).
+	if !e.dispatcher.CompareAndSwap(nil, d) {
+		return fmt.Errorf("core: async dispatch already enabled")
+	}
+	e.dispShared.Store(true)
 	return nil
 }
 
@@ -421,10 +462,17 @@ func (e *Engine) Drain() {
 // its delivery drains), observes a delivery rejection (ErrClosed) as its
 // statement error, or — once the pool has fully drained and stopped —
 // delivers inline; per-trigger exclusivity is never violated. Safe to
-// call on a synchronous engine; idempotent.
+// call on a synchronous engine; idempotent. A shared dispatcher
+// (AttachSharedDispatcher) is drained and detached but left running: its
+// owner stops it once every attached engine has closed.
 func (e *Engine) Close() error {
 	d := e.dispatcher.Load()
 	if d == nil {
+		return nil
+	}
+	if e.dispShared.Load() {
+		d.Drain()
+		e.dispatcher.CompareAndSwap(d, nil)
 		return nil
 	}
 	err := d.Close() // blocks until queued deliveries drain and workers exit
@@ -462,12 +510,29 @@ func (e *Engine) TriggerDispatchStats(name string) (dispatch.LaneStats, bool) {
 // previous run's records), replays, enables, and closes it after
 // Engine.Close. Returns an error if an outbox is already enabled.
 func (e *Engine) EnableOutbox(lg *outbox.Log, sink outbox.Sink) error {
+	return e.EnableOutboxShared(lg, sink, nil)
+}
+
+// EnableOutboxShared is EnableOutbox for engines sharing one log: stripes,
+// when non-nil, replaces this engine's per-trigger append+enqueue stripe
+// set with a shared one, so the log-order = lane-order invariant holds for
+// a trigger firing concurrently on several engines over the same log (the
+// sharded engine attaches the same log, sink, and stripe set to every
+// shard). Must be called before any statement can fire — it swaps the
+// stripe set unsynchronized.
+func (e *Engine) EnableOutboxShared(lg *outbox.Log, sink outbox.Sink, stripes *DeliveryStripes) error {
 	if lg == nil {
 		return fmt.Errorf("core: EnableOutbox requires a log")
 	}
 	st := &outboxState{log: lg, sink: sink}
 	if !e.ob.CompareAndSwap(nil, st) {
+		// Fail without touching the stripe set: swapping it under an
+		// already-active outbox would let one trigger's append+enqueue
+		// proceed under two different stripes.
 		return fmt.Errorf("core: outbox already enabled")
+	}
+	if stripes != nil {
+		e.obStripes = stripes
 	}
 	return nil
 }
@@ -514,7 +579,7 @@ func (e *Engine) obLock(trigger string) *sync.Mutex {
 	for i := 0; i < len(trigger); i++ {
 		h = (h ^ uint32(trigger[i])) * 16777619 // FNV-1a
 	}
-	return &e.obLocks[h%uint32(len(e.obLocks))]
+	return &e.obStripes.mu[h%uint32(len(e.obStripes.mu))]
 }
 
 // deliverDurable is deliver with the outbox enabled: append, then deliver
@@ -1307,6 +1372,26 @@ func (e *Engine) DeleteByPK(table string, key ...xdm.Value) (bool, error) {
 	return e.db.DeleteByPK(table, key...)
 }
 
+// GetByPK reads one row under the table's read lock and returns a copy,
+// so the caller never holds a reference into live storage. It exists for
+// coordinators (the shard router) that must inspect a row's current value
+// before deciding where a statement belongs.
+func (e *Engine) GetByPK(table string, key ...xdm.Value) (reldb.Row, bool, error) {
+	e.mu.RLock()
+	l, ok := e.tableLocks[table]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, false, fmt.Errorf("core: unknown table %q", table)
+	}
+	l.RLock()
+	defer l.RUnlock()
+	r, found, err := e.db.GetByPK(table, key...)
+	if err != nil || !found {
+		return nil, found, err
+	}
+	return r.Copy(), true, nil
+}
+
 // Batch runs fn inside a batched update transaction: every mutation made
 // through the Tx applies immediately, but the translated SQL triggers
 // fire once per (table, event) at commit with the merged transition
@@ -1315,12 +1400,83 @@ func (e *Engine) DeleteByPK(table string, key ...xdm.Value) (bool, error) {
 // fire. The whole batch runs under write locks on all tables (its write
 // footprint is unknown up front); fn must not call back into the engine.
 func (e *Engine) Batch(fn func(*reldb.Tx) error) error {
-	if err := e.Flush(); err != nil {
+	h, err := e.BeginBatch()
+	if err != nil {
 		return err
 	}
+	return h.Run(fn)
+}
+
+// BatchHandle is an open batched transaction whose lifetime the caller
+// controls: BeginBatch locks and begins, the caller applies mutations
+// through Tx, and Commit (fire the merged deltas) or Rollback finishes it
+// and releases the locks. It exists for coordinators that interleave the
+// statements of several engines inside one logical transaction — the
+// sharded engine opens one handle per shard and commits them in shard
+// order — where the callback shape of Batch cannot express the control
+// flow. Handles are not safe for concurrent use.
+type BatchHandle struct {
+	e      *Engine
+	tx     *reldb.Tx
+	unlock func()
+	done   bool
+}
+
+// BeginBatch flushes pending trigger builds, write-locks every table, and
+// begins a batched transaction. The caller must finish the handle with
+// Commit or Rollback (or Run), or the engine stays locked.
+func (e *Engine) BeginBatch() (*BatchHandle, error) {
+	if err := e.Flush(); err != nil {
+		return nil, err
+	}
 	unlock := e.lockAllForWrite()
-	defer unlock()
-	return e.runBatch(e.db.Begin(), fn)
+	return &BatchHandle{e: e, tx: e.db.Begin(), unlock: unlock}, nil
+}
+
+// Tx returns the handle's transaction for applying mutations.
+func (h *BatchHandle) Tx() *reldb.Tx { return h.tx }
+
+// Engine returns the engine the handle belongs to.
+func (h *BatchHandle) Engine() *Engine { return h.e }
+
+// Commit fires the merged transition tables and releases the locks.
+func (h *BatchHandle) Commit() error {
+	if h.done {
+		return fmt.Errorf("core: batch already finished")
+	}
+	h.done = true
+	defer h.unlock()
+	return h.tx.Commit()
+}
+
+// Rollback undoes the transaction's mutations (no triggers fire) and
+// releases the locks.
+func (h *BatchHandle) Rollback() error {
+	if h.done {
+		return fmt.Errorf("core: batch already finished")
+	}
+	h.done = true
+	defer h.unlock()
+	return h.tx.Rollback()
+}
+
+// Run drives fn to commit or rollback with the panic safety of Batch.
+func (h *BatchHandle) Run(fn func(*reldb.Tx) error) error {
+	finished := false
+	defer func() {
+		if !finished {
+			_ = h.Rollback()
+		}
+	}()
+	if err := fn(h.tx); err != nil {
+		finished = true
+		if rbErr := h.Rollback(); rbErr != nil {
+			return fmt.Errorf("%w (rollback failed: %v)", err, rbErr)
+		}
+		return err
+	}
+	finished = true
+	return h.Commit()
 }
 
 // BatchTables runs fn like Batch, but write-locks only the declared table
@@ -1331,47 +1487,35 @@ func (e *Engine) Batch(fn func(*reldb.Tx) error) error {
 // error, and returning it rolls the batch back. Triggers installed on the
 // declared tables still fire at commit exactly as with Batch.
 func (e *Engine) BatchTables(tables []string, fn func(*reldb.Tx) error) error {
-	if err := e.Flush(); err != nil {
+	h, err := e.BeginBatchTables(tables)
+	if err != nil {
 		return err
+	}
+	return h.Run(fn)
+}
+
+// BeginBatchTables is BeginBatch with a declared footprint: only the
+// listed tables are write-locked (plus their installed triggers' and
+// foreign-key checks' read sets), and the transaction is restricted to
+// them, so handles with disjoint footprints run concurrently.
+func (e *Engine) BeginBatchTables(tables []string) (*BatchHandle, error) {
+	if err := e.Flush(); err != nil {
+		return nil, err
 	}
 	e.mu.RLock()
 	write := map[string]bool{}
 	for _, t := range tables {
 		if _, ok := e.tableLocks[t]; !ok {
 			e.mu.RUnlock()
-			return fmt.Errorf("core: unknown table %q", t)
+			return nil, fmt.Errorf("core: unknown table %q", t)
 		}
 		write[t] = true
 	}
 	unlock := e.acquireLocks(write, e.readFootprint(write))
 	e.mu.RUnlock()
-	defer unlock()
 	tx := e.db.Begin()
 	tx.Restrict(tables)
-	return e.runBatch(tx, fn)
-}
-
-// runBatch drives one batched transaction to commit or rollback under
-// locks the caller already holds.
-func (e *Engine) runBatch(tx *reldb.Tx, fn func(*reldb.Tx) error) error {
-	finished := false
-	// A panic escaping fn must not leave half a transaction applied with
-	// no firing: roll the data back before unwinding (database/sql's
-	// contract for Tx under panic).
-	defer func() {
-		if !finished {
-			_ = tx.Rollback()
-		}
-	}()
-	if err := fn(tx); err != nil {
-		finished = true
-		if rbErr := tx.Rollback(); rbErr != nil {
-			return fmt.Errorf("%w (rollback failed: %v)", err, rbErr)
-		}
-		return err
-	}
-	finished = true
-	return tx.Commit()
+	return &BatchHandle{e: e, tx: tx, unlock: unlock}, nil
 }
 
 // EvalView materializes a registered view (for inspection/examples). It

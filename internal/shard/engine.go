@@ -1,0 +1,526 @@
+package shard
+
+import (
+	"fmt"
+
+	"quark/internal/core"
+	"quark/internal/dispatch"
+	"quark/internal/outbox"
+	"quark/internal/reldb"
+	"quark/internal/schema"
+	"quark/internal/trigger"
+	"quark/internal/xdm"
+)
+
+// Config parameterizes a sharded engine.
+type Config struct {
+	// Shards is the number of embedded engine instances; defaults to 1.
+	Shards int
+	// Mode is the trigger translation mode every shard uses.
+	Mode core.Mode
+	// Routing overrides per-table routing rules (see TableRouting); tables
+	// without an entry default to child-via-first-FK or root-by-PK.
+	Routing []TableRouting
+}
+
+// Engine mirrors the core Engine API over N embedded engines, one per
+// shard. Views, triggers, and actions registered here are installed on
+// every shard (a trigger's spec is parsed once and compiled per shard
+// against that shard's store); statements route to the owning shard, and
+// statements whose footprint spans shards run as distributed transactions
+// committed in shard order, so merged per-shard deltas activate in
+// deterministic (shard, storage-key) order.
+//
+// Action delivery is shared: EnableAsyncDispatch attaches ONE dispatcher
+// to every shard, so per-trigger FIFO lanes span shards; EnableOutbox
+// attaches one log, sink, and append+enqueue stripe set to every shard,
+// so log order is a global per-trigger order and a replay reproduces the
+// fleet's deliveries exactly.
+type Engine struct {
+	router  *Router
+	engines []*core.Engine
+	dbs     []*reldb.DB
+	mode    core.Mode
+
+	d  *dispatch.Dispatcher
+	ob *outbox.Log
+}
+
+// Stats reports fleet-wide counters plus the per-shard breakdown.
+type Stats struct {
+	Shards      int
+	PerShard    []core.Stats
+	XMLTriggers int   // registered triggers (same on every shard)
+	Fires       int64 // summed over shards
+	Actions     int64 // summed over shards
+	DirEntries  int   // routing directory size
+	Async       bool
+	Dispatch    dispatch.Stats
+	Outbox      bool
+	OutboxLog   outbox.Stats
+}
+
+// New builds a sharded engine: cfg.Shards embedded engines over fresh
+// stores of the same schema, and a router resolved from cfg.Routing.
+func New(s *schema.Schema, cfg Config) (*Engine, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 1
+	}
+	router, err := NewRouter(s, n, cfg.Routing)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{router: router, mode: cfg.Mode}
+	for i := 0; i < n; i++ {
+		db, err := reldb.Open(s)
+		if err != nil {
+			return nil, err
+		}
+		e.dbs = append(e.dbs, db)
+		e.engines = append(e.engines, core.NewEngine(db, cfg.Mode))
+	}
+	return e, nil
+}
+
+// NumShards returns the shard count.
+func (e *Engine) NumShards() int { return len(e.engines) }
+
+// Shard returns the i-th embedded engine (inspection and tests).
+func (e *Engine) Shard(i int) *core.Engine { return e.engines[i] }
+
+// Router returns the engine's router.
+func (e *Engine) Router() *Router { return e.router }
+
+// Mode returns the translation mode.
+func (e *Engine) Mode() core.Mode { return e.mode }
+
+// OwnerOf reports which shard currently owns the row with the given
+// primary key, according to the directory.
+func (e *Engine) OwnerOf(table string, key ...xdm.Value) (int, bool) {
+	return e.router.lookup(table, xdm.TupleKey(key), nil)
+}
+
+// RegisterAction installs an action function on every shard.
+func (e *Engine) RegisterAction(name string, fn core.ActionFunc) {
+	for _, ce := range e.engines {
+		ce.RegisterAction(name, fn)
+	}
+}
+
+// CreateView compiles and registers the view on every shard.
+func (e *Engine) CreateView(name, src string) error {
+	for _, ce := range e.engines {
+		if _, err := ce.CreateView(name, src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateTrigger parses the trigger once and registers it on every shard;
+// each shard compiles its own plans against its own store at Flush. On a
+// mid-fleet failure the already-registered shards are rolled back so the
+// fleet never disagrees about the trigger population.
+func (e *Engine) CreateTrigger(src string) error {
+	spec, err := trigger.Parse(src)
+	if err != nil {
+		return err
+	}
+	return e.CreateTriggerSpec(spec)
+}
+
+// CreateTriggerSpec registers a pre-parsed trigger on every shard.
+func (e *Engine) CreateTriggerSpec(spec *trigger.Spec) error {
+	for i, ce := range e.engines {
+		if err := ce.CreateTriggerSpec(spec); err != nil {
+			for j := 0; j < i; j++ {
+				_ = e.engines[j].DropTrigger(spec.Name)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// DropTrigger removes the trigger from every shard (draining its shared
+// delivery lane via the per-shard drop path).
+func (e *Engine) DropTrigger(name string) error {
+	var first error
+	for _, ce := range e.engines {
+		if err := ce.DropTrigger(name); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Flush builds and installs the translated SQL triggers on every shard.
+func (e *Engine) Flush() error {
+	for _, ce := range e.engines {
+		if err := ce.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnableAsyncDispatch switches every shard's action delivery to one
+// shared bounded-queue worker pool: per-trigger FIFO lanes span shards,
+// so a trigger's deliveries never reorder or run concurrently even when
+// it fires on several shards.
+func (e *Engine) EnableAsyncDispatch(cfg dispatch.Config) error {
+	if e.d != nil {
+		return fmt.Errorf("shard: async dispatch already enabled")
+	}
+	// Precheck the whole fleet before attaching anything: failing on
+	// shard i>0 after attaching shards < i would leave a half-async
+	// fleet, and closing the shared pool under the attached shards would
+	// turn their next delivery into an ErrClosed statement error.
+	for i, ce := range e.engines {
+		if ce.AsyncDispatch() {
+			return fmt.Errorf("shard: shard %d already has async dispatch enabled", i)
+		}
+	}
+	d := dispatch.New(cfg)
+	for _, ce := range e.engines {
+		if err := ce.AttachSharedDispatcher(d); err != nil {
+			_ = d.Close()
+			return err
+		}
+	}
+	e.d = d
+	return nil
+}
+
+// EnableOutbox makes every shard's delivery durable through ONE shared
+// log, sink, and append+enqueue stripe set, so the log's per-trigger
+// order is the fleet's delivery order and a replay reproduces it.
+func (e *Engine) EnableOutbox(lg *outbox.Log, sink outbox.Sink) error {
+	if e.ob != nil {
+		return fmt.Errorf("shard: outbox already enabled")
+	}
+	if lg == nil {
+		return fmt.Errorf("shard: EnableOutbox requires a log")
+	}
+	// Precheck before enabling anything (see EnableAsyncDispatch): a
+	// mid-fleet failure would leave a half-durable fleet with no way to
+	// retry.
+	for i, ce := range e.engines {
+		if ce.OutboxEnabled() {
+			return fmt.Errorf("shard: shard %d already has an outbox enabled", i)
+		}
+	}
+	stripes := core.NewDeliveryStripes()
+	for _, ce := range e.engines {
+		if err := ce.EnableOutboxShared(lg, sink, stripes); err != nil {
+			return err
+		}
+	}
+	e.ob = lg
+	return nil
+}
+
+// Drain blocks until every queued async delivery across the fleet has
+// completed; a no-op in synchronous mode.
+func (e *Engine) Drain() {
+	if e.d != nil {
+		e.d.Drain()
+	}
+}
+
+// Close drains and detaches every shard from the shared dispatcher, then
+// stops it. Idempotent; safe on a synchronous engine.
+func (e *Engine) Close() error {
+	var first error
+	for _, ce := range e.engines {
+		if err := ce.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if e.d != nil {
+		if err := e.d.Close(); err != nil && first == nil {
+			first = err
+		}
+		e.d = nil
+	}
+	return first
+}
+
+// Stats returns fleet counters with the per-shard breakdown.
+func (e *Engine) Stats() Stats {
+	st := Stats{Shards: len(e.engines), DirEntries: e.router.DirSize()}
+	for _, ce := range e.engines {
+		s := ce.Stats()
+		st.PerShard = append(st.PerShard, s)
+		st.Fires += s.Fires
+		st.Actions += s.Actions
+	}
+	if len(st.PerShard) > 0 {
+		st.XMLTriggers = st.PerShard[0].XMLTriggers
+	}
+	if e.d != nil {
+		st.Async = true
+		st.Dispatch = e.d.Stats()
+	}
+	if e.ob != nil {
+		st.Outbox = true
+		st.OutboxLog = e.ob.Stats()
+	}
+	return st
+}
+
+// --- statement surface: route to the owning shard when the statement's
+// footprint is provably one shard; otherwise run a distributed tx ---
+
+// Insert routes each row to its owning shard. A statement whose rows all
+// land on one shard takes the fast path; a statement spanning shards runs
+// as a distributed transaction so validation failures keep single-
+// statement atomicity (the single engine's applyInsert is all-or-nothing,
+// and so is the rolled-back fleet). Parents must be inserted before
+// children (the directory resolves child ownership from the parent's
+// entry). Primary keys are globally unique: the directory doubles as the
+// fleet-wide PK index, rejecting a key that already exists on ANY shard —
+// matching the single engine's duplicate-key error even when the
+// duplicate's routing columns hash elsewhere.
+func (e *Engine) Insert(table string, rows ...reldb.Row) error {
+	rt, err := e.router.route(table)
+	if err != nil {
+		return err
+	}
+	groups := make(map[int][]reldb.Row)
+	keys := make(map[int][]string)
+	seen := make(map[string]bool, len(rows))
+	for _, row := range rows {
+		if len(row) != len(rt.def.Columns) {
+			// Let an engine produce the canonical arity error (under its
+			// table lock; validation fails before anything is applied).
+			return e.engines[0].Insert(table, row)
+		}
+		k := pkKeyOf(rt, row)
+		o := e.router.ownerForRowRt(rt, row, nil)
+		if seen[k] {
+			return fmt.Errorf("shard: duplicate primary key in table %s", table)
+		}
+		seen[k] = true
+		if cur, ok := e.router.lookup(table, k, nil); ok && cur != o {
+			// The same key lives on another shard; the owning reldb could
+			// never see the collision, so the router rejects it.
+			return fmt.Errorf("shard: duplicate primary key in table %s (row exists on shard %d)", table, cur)
+		}
+		groups[o] = append(groups[o], row)
+		keys[o] = append(keys[o], k)
+	}
+	if len(groups) > 1 {
+		// Cross-shard statement: distributed transaction for atomicity.
+		return e.runTxTables([]string{table}, func(tx *Tx) error {
+			return tx.Insert(table, rows...)
+		})
+	}
+	for si := range e.engines {
+		g := groups[si]
+		if len(g) == 0 {
+			continue
+		}
+		err := e.engines[si].Insert(table, g...)
+		if err == nil {
+			for _, k := range keys[si] {
+				e.router.record(table, k, si)
+			}
+			continue
+		}
+		// The statement failed, but reldb applies rows BEFORE firing: a
+		// trigger-action error leaves the rows in the store (AFTER-trigger
+		// semantics). Reconcile the directory with what actually exists so
+		// the rows stay addressable, exactly as on a single engine.
+		for ri, k := range keys[si] {
+			if _, found, _ := e.engines[si].GetByPK(table, pkVals(rt, g[ri])...); found {
+				e.router.record(table, k, si)
+			}
+		}
+		return err
+	}
+	return nil
+}
+
+// UpdateByPK updates one row on its owning shard. If the update changes
+// the row's routing key to another shard, the statement runs as a
+// distributed transaction migrating the row (and, for a root, its
+// co-located subtree) to the new owner. The set function must be pure:
+// the router probes it against a copy of the current row to decide the
+// statement's footprint before applying it for real.
+func (e *Engine) UpdateByPK(table string, key []xdm.Value, set func(reldb.Row) reldb.Row) (bool, error) {
+	rt, err := e.router.route(table)
+	if err != nil {
+		return false, err
+	}
+	pk := xdm.TupleKey(key)
+	owner, ok := e.router.lookup(table, pk, nil)
+	if !ok {
+		return false, nil
+	}
+	cur, found, err := e.engines[owner].GetByPK(table, key...)
+	if err != nil {
+		return false, err
+	}
+	if !found {
+		return false, nil
+	}
+	next := set(cur.Copy())
+	if len(next) != len(rt.def.Columns) {
+		// Malformed post-image: let the owning engine produce the error.
+		return e.engines[owner].UpdateByPK(table, key, set)
+	}
+	newOwner := e.router.ownerForRowRt(rt, next, nil)
+	if nk := pkKeyOf(rt, next); nk != pk {
+		// Fleet-wide PK uniqueness on PK moves (see Insert): a collision
+		// on another shard is invisible to the destination's reldb.
+		if cur, ok := e.router.lookup(table, nk, nil); ok && cur != newOwner {
+			return false, fmt.Errorf("shard: duplicate primary key in table %s (row exists on shard %d)", table, cur)
+		}
+	}
+	if newOwner == owner {
+		changed, err := e.engines[owner].UpdateByPK(table, key, set)
+		if nk := pkKeyOf(rt, next); nk != pk {
+			if err == nil && changed {
+				e.router.rekey(table, pk, nk, owner)
+			} else if err != nil {
+				// A firing error leaves the applied update in place
+				// (AFTER-trigger semantics); reconcile the directory with
+				// the store so a PK-moved row stays addressable.
+				if _, found, _ := e.engines[owner].GetByPK(table, pkVals(rt, next)...); found {
+					e.router.rekey(table, pk, nk, owner)
+				}
+			}
+		}
+		return changed, err
+	}
+	var moved bool
+	err = e.runTxTables(e.router.writeFootprint(table), func(tx *Tx) error {
+		var err error
+		moved, err = tx.UpdateByPK(table, key, set)
+		return err
+	})
+	return moved, err
+}
+
+// Update applies a predicate update across the fleet as a distributed
+// transaction scoped to the statement's write footprint (the table plus
+// its FK-children, which a migration may write) — disjoint-footprint
+// statements and single-shard statements on other tables stay
+// concurrent. Per-row migration applies when the update changes a row's
+// owner. set must be pure (see UpdateByPK).
+func (e *Engine) Update(table string, pred func(reldb.Row) bool, set func(reldb.Row) reldb.Row) (int, error) {
+	if _, err := e.router.route(table); err != nil {
+		return 0, err
+	}
+	n := 0
+	err := e.runTxTables(e.router.writeFootprint(table), func(tx *Tx) error {
+		var err error
+		n, err = tx.Update(table, pred, set)
+		return err
+	})
+	return n, err
+}
+
+// Delete applies a predicate delete across the fleet as a distributed
+// transaction write-locked on the target table only.
+func (e *Engine) Delete(table string, pred func(reldb.Row) bool) (int, error) {
+	if _, err := e.router.route(table); err != nil {
+		return 0, err
+	}
+	n := 0
+	err := e.runTxTables([]string{table}, func(tx *Tx) error {
+		var err error
+		n, err = tx.Delete(table, pred)
+		return err
+	})
+	return n, err
+}
+
+// DeleteByPK deletes one row on its owning shard.
+func (e *Engine) DeleteByPK(table string, key ...xdm.Value) (bool, error) {
+	if _, err := e.router.route(table); err != nil {
+		return false, err
+	}
+	pk := xdm.TupleKey(key)
+	owner, ok := e.router.lookup(table, pk, nil)
+	if !ok {
+		return false, nil
+	}
+	removed, err := e.engines[owner].DeleteByPK(table, key...)
+	if err == nil && removed {
+		e.router.forget(table, pk)
+	} else if err != nil {
+		// A firing error leaves the applied delete in place; reconcile.
+		if _, found, _ := e.engines[owner].GetByPK(table, key...); !found {
+			e.router.forget(table, pk)
+		}
+	}
+	return removed, err
+}
+
+// Batch runs fn inside one distributed transaction spanning every shard:
+// mutations route like their statement counterparts (including cross-
+// shard migrations), each shard's triggers fire once at its commit with
+// that shard's merged net deltas, and commits run in shard order. If fn
+// returns an error every shard rolls back and the directory is untouched.
+//
+// Commit is not two-phase: a trigger action error during shard k's commit
+// leaves shards < k committed (their data and firings stand, matching
+// AFTER-trigger semantics) while shards >= k roll back — the same
+// contract a failed multi-statement script has against independent
+// stores.
+func (e *Engine) Batch(fn func(*Tx) error) error {
+	return e.runTxTables(nil, fn)
+}
+
+// runTxTables drives one distributed transaction to commit or rollback.
+// tables, when non-nil, is the declared write footprint (locked and
+// restricted per shard via BeginBatchTables); nil locks every table
+// (Batch, whose footprint is unknown up front).
+func (e *Engine) runTxTables(tables []string, fn func(*Tx) error) error {
+	tx, err := e.beginAll(tables)
+	if err != nil {
+		return err
+	}
+	finished := false
+	defer func() {
+		if !finished {
+			tx.rollback()
+		}
+	}()
+	if err := fn(tx); err != nil {
+		finished = true
+		tx.rollback()
+		return err
+	}
+	finished = true
+	return tx.commit()
+}
+
+// beginAll opens a batch handle on every shard in shard order; within a
+// shard, table locks follow the global name order. Every multi-shard
+// acquirer walks this one (shard, table) order, which makes concurrent
+// distributed transactions deadlock-free against each other and against
+// single-shard statements.
+func (e *Engine) beginAll(tables []string) (*Tx, error) {
+	tx := &Tx{e: e, ov: newDirOps()}
+	for _, ce := range e.engines {
+		var h *core.BatchHandle
+		var err error
+		if tables == nil {
+			h, err = ce.BeginBatch()
+		} else {
+			h, err = ce.BeginBatchTables(tables)
+		}
+		if err != nil {
+			for _, open := range tx.hs {
+				_ = open.Rollback()
+			}
+			return nil, err
+		}
+		tx.hs = append(tx.hs, h)
+	}
+	return tx, nil
+}

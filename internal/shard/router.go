@@ -1,0 +1,392 @@
+// Package shard partitions the trigger engine horizontally: a Router
+// hash-partitions the data hierarchy's root keys across N embedded engine
+// instances — each with its own reldb store, compiled trigger plans, and
+// table locks — and a shard.Engine mirrors the core Engine API on top,
+// routing single-row statements to the owning shard and running
+// cross-shard statements as distributed transactions committed in
+// deterministic (shard, storage-key) order.
+//
+// # Partitioning model
+//
+// Every table is either a ROOT or a CHILD of the hierarchy:
+//
+//   - A root table routes each row by the hash of its routing columns
+//     (TableRouting.ByColumns; default: the primary key). The routing
+//     columns pick the unit of distribution — e.g. the paper's catalog
+//     view groups products by NAME, so product routes "by pname" and all
+//     products sharing a name land on one shard.
+//   - A child table routes each row to the shard of the parent row its
+//     foreign key references, resolved through the router's directory.
+//     Children therefore always co-locate with their ancestors.
+//
+// The correctness contract this buys: if the routing columns are chosen
+// so that every XML view element's provenance (the base rows any one
+// element is computed from) lives on a single shard, then each shard's
+// locally-evaluated view is exactly the slice of the global view it owns,
+// per-shard trigger firing equals global firing restricted to owned
+// elements, and the union of the shards' invocation streams equals the
+// single-engine stream (internal/conformance proves this differentially
+// and with a seeded fuzzer). Views that aggregate across routing groups
+// are outside the contract.
+//
+// # Row movement
+//
+// An update that changes a row's routing key (a root's routing column, a
+// child's foreign key, directly or via a primary-key move) may change its
+// owner. The engine detects this before applying and, when the owner
+// changes, executes the statement as a distributed transaction that
+// deletes the row (and, for a root whose referenced key is unchanged, its
+// co-located subtree) on the old shard and inserts the post-image on the
+// new one. Net transition tables on each side then show exactly the
+// global change restricted to that shard's elements, so view-level events
+// still come out identical to the single-engine execution.
+//
+// # Directory
+//
+// The router maintains an in-memory directory mapping (table, primary
+// key) -> shard for every row routed through the sharded engine. Child
+// inserts resolve their parent through it, so parents must be inserted
+// before children; a child whose parent is unknown routes by the hash of
+// its foreign-key value (a deterministic orphan placement).
+//
+// Concurrency contract: statements that touch the same routing GROUP —
+// the same row, a row and its ancestors, or a row and a statement that
+// changes an ancestor's routing key — must be serialized by the
+// application. The router resolves ownership from the directory before a
+// statement takes its shard's locks, so e.g. a child insert racing its
+// parent's cross-shard migration can target the parent's previous shard
+// and fail there. Statements on disjoint routing groups need no external
+// coordination, which is the sharding win; the precheck is not
+// transactional across groups, matching the usual contract of
+// hash-sharded stores.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"quark/internal/schema"
+	"quark/internal/xdm"
+)
+
+// TableRouting overrides how one table routes.
+type TableRouting struct {
+	// Table is the table the entry configures.
+	Table string
+	// ByColumns makes the table a root: rows route by the hash of these
+	// columns' values. Mutually exclusive with ViaParent.
+	ByColumns []string
+	// ViaParent makes the table a child of the named parent table: rows
+	// route to the shard owning the parent row their foreign key
+	// references.
+	ViaParent string
+}
+
+// route is one table's resolved routing rule.
+type route struct {
+	def   *schema.Table
+	pkIdx []int
+	// Root tables: byIdx are the routed column indexes.
+	byIdx []int
+	// Child tables: parent is the parent table, fkIdx the foreign-key
+	// column indexes in this table referencing the parent's primary key.
+	parent string
+	fkIdx  []int
+	// children are the tables routing via this one (subtree migration).
+	children []childRef
+}
+
+type childRef struct {
+	table  string
+	fkIdx  []int // FK column indexes in the child
+	refIdx []int // referenced column indexes in this (parent) table
+}
+
+// Router owns the partitioning function: static per-table routing rules
+// plus the dynamic (table, primary key) -> shard directory.
+type Router struct {
+	n      int
+	routes map[string]*route
+
+	mu  sync.RWMutex
+	dir map[string]int // table + "\x00" + pk tuple-key -> shard
+}
+
+// NewRouter resolves the routing rules for every table of the schema.
+// Tables without an explicit TableRouting entry default to: child via the
+// first foreign key's referenced table, or root by primary key when the
+// table has no foreign keys. Every routed table must have a primary key,
+// and a child's foreign key must reference its parent's primary key
+// (that is what the directory is keyed by).
+func NewRouter(s *schema.Schema, n int, overrides []TableRouting) (*Router, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	ov := map[string]TableRouting{}
+	for _, o := range overrides {
+		ov[o.Table] = o
+	}
+	r := &Router{n: n, routes: map[string]*route{}, dir: map[string]int{}}
+	for _, t := range s.Tables() {
+		if len(t.PrimaryKey) == 0 {
+			return nil, fmt.Errorf("shard: table %q has no primary key; sharding routes rows by key", t.Name)
+		}
+		rt := &route{def: t, pkIdx: t.PKIndexes()}
+		spec, hasSpec := ov[t.Name]
+		switch {
+		case hasSpec && len(spec.ByColumns) > 0 && spec.ViaParent != "":
+			return nil, fmt.Errorf("shard: table %q declares both ByColumns and ViaParent", t.Name)
+		case hasSpec && len(spec.ByColumns) > 0:
+			for _, c := range spec.ByColumns {
+				ci := t.ColIndex(c)
+				if ci < 0 {
+					return nil, fmt.Errorf("shard: table %q has no routing column %q", t.Name, c)
+				}
+				rt.byIdx = append(rt.byIdx, ci)
+			}
+		case hasSpec && spec.ViaParent != "":
+			fk, err := fkTo(t, spec.ViaParent)
+			if err != nil {
+				return nil, err
+			}
+			rt.parent = spec.ViaParent
+			rt.fkIdx = fkIdx(t, fk)
+		case len(t.ForeignKeys) > 0:
+			rt.parent = t.ForeignKeys[0].RefTable
+			rt.fkIdx = fkIdx(t, t.ForeignKeys[0])
+		default:
+			rt.byIdx = append([]int(nil), rt.pkIdx...)
+		}
+		r.routes[t.Name] = rt
+	}
+	// Validate parent links and build the child lists for migration.
+	for name, rt := range r.routes {
+		if rt.parent == "" {
+			continue
+		}
+		prt, ok := r.routes[rt.parent]
+		if !ok {
+			return nil, fmt.Errorf("shard: table %q routes via unknown parent %q", name, rt.parent)
+		}
+		fk, err := fkTo(rt.def, rt.parent)
+		if err != nil {
+			return nil, err
+		}
+		if !sameStrings(fk.RefColumns, prt.def.PrimaryKey) {
+			return nil, fmt.Errorf("shard: table %q's foreign key to %q must reference its primary key", name, rt.parent)
+		}
+		refIdx := make([]int, len(fk.RefColumns))
+		for i, c := range fk.RefColumns {
+			refIdx[i] = prt.def.ColIndex(c)
+		}
+		prt.children = append(prt.children, childRef{table: name, fkIdx: rt.fkIdx, refIdx: refIdx})
+	}
+	return r, nil
+}
+
+func fkTo(t *schema.Table, parent string) (schema.ForeignKey, error) {
+	for _, fk := range t.ForeignKeys {
+		if fk.RefTable == parent {
+			return fk, nil
+		}
+	}
+	return schema.ForeignKey{}, fmt.Errorf("shard: table %q has no foreign key to %q", t.Name, parent)
+}
+
+func fkIdx(t *schema.Table, fk schema.ForeignKey) []int {
+	out := make([]int, len(fk.Columns))
+	for i, c := range fk.Columns {
+		out[i] = t.ColIndex(c)
+	}
+	return out
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return r.n }
+
+func (r *Router) route(table string) (*route, error) {
+	rt, ok := r.routes[table]
+	if !ok {
+		return nil, fmt.Errorf("shard: unknown table %q", table)
+	}
+	return rt, nil
+}
+
+// pkKeyOf renders the row's primary-key tuple key.
+func pkKeyOf(rt *route, row []xdm.Value) string {
+	ks := make([]xdm.Value, len(rt.pkIdx))
+	for i, c := range rt.pkIdx {
+		ks[i] = row[c]
+	}
+	return xdm.TupleKey(ks)
+}
+
+func dirKey(table, pkKey string) string { return table + "\x00" + pkKey }
+
+// hashKey maps a canonical key string to a shard.
+func (r *Router) hashKey(s string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211 // FNV-1a 64
+	}
+	return int(h % uint64(r.n))
+}
+
+// dirOps is the uncommitted directory overlay of one distributed
+// transaction: lookups consult it before the committed directory, and
+// commit folds it in atomically (rollback discards it). Every entry
+// carries the shard whose data change it mirrors, so a partial commit
+// (shard k's commit failing after shards < k committed) can fold exactly
+// the entries whose shards actually applied.
+type dirOps struct {
+	set map[string]int
+	del map[string]int // key -> shard the row was removed from
+}
+
+func newDirOps() *dirOps { return &dirOps{set: map[string]int{}, del: map[string]int{}} }
+
+// record notes a row's (new) owner. An existing del entry for the same
+// key is kept: a same-PK cross-shard migration is del on one shard AND
+// set on another, and a partial commit must be able to fold each side by
+// its own shard (lookup and full folds check set before del, so the set
+// wins whenever both shards applied).
+func (o *dirOps) record(key string, shard int) {
+	o.set[key] = shard
+}
+
+func (o *dirOps) remove(key string, shard int) {
+	delete(o.set, key)
+	o.del[key] = shard
+}
+
+// lookup finds a row's recorded shard, overlay first.
+func (r *Router) lookup(table, pkKey string, ov *dirOps) (int, bool) {
+	k := dirKey(table, pkKey)
+	if ov != nil {
+		if s, ok := ov.set[k]; ok {
+			return s, true
+		}
+		if _, gone := ov.del[k]; gone {
+			return 0, false
+		}
+	}
+	r.mu.RLock()
+	s, ok := r.dir[k]
+	r.mu.RUnlock()
+	return s, ok
+}
+
+// ownerForRow computes which shard owns the given (post-image) row: root
+// tables hash their routing columns; child tables resolve the referenced
+// parent through the directory, falling back to the hash of the
+// foreign-key value when the parent is unknown (deterministic orphan
+// placement — insert parents before children to co-locate).
+func (r *Router) ownerForRow(table string, row []xdm.Value, ov *dirOps) (int, error) {
+	rt, err := r.route(table)
+	if err != nil {
+		return 0, err
+	}
+	return r.ownerForRowRt(rt, row, ov), nil
+}
+
+func (r *Router) ownerForRowRt(rt *route, row []xdm.Value, ov *dirOps) int {
+	if rt.parent == "" {
+		ks := make([]xdm.Value, len(rt.byIdx))
+		for i, c := range rt.byIdx {
+			ks[i] = row[c]
+		}
+		return r.hashKey(xdm.TupleKey(ks))
+	}
+	ks := make([]xdm.Value, len(rt.fkIdx))
+	for i, c := range rt.fkIdx {
+		ks[i] = row[c]
+	}
+	parentKey := xdm.TupleKey(ks)
+	if s, ok := r.lookup(rt.parent, parentKey, ov); ok {
+		return s
+	}
+	return r.hashKey(parentKey)
+}
+
+// record installs a committed row's owner.
+func (r *Router) record(table, pkKey string, shard int) {
+	r.mu.Lock()
+	r.dir[dirKey(table, pkKey)] = shard
+	r.mu.Unlock()
+}
+
+// forget drops a committed row's directory entry.
+func (r *Router) forget(table, pkKey string) {
+	r.mu.Lock()
+	delete(r.dir, dirKey(table, pkKey))
+	r.mu.Unlock()
+}
+
+// rekey moves a committed row's entry to a new primary key.
+func (r *Router) rekey(table, oldKey, newKey string, shard int) {
+	r.mu.Lock()
+	delete(r.dir, dirKey(table, oldKey))
+	r.dir[dirKey(table, newKey)] = shard
+	r.mu.Unlock()
+}
+
+// commit folds a transaction's overlay into the committed directory.
+// committed filters to the shards whose data commit actually applied
+// (nil = all): on a partial commit the directory then stays consistent
+// with the rows that exist, rather than silently losing the committed
+// shards' entries.
+func (r *Router) commit(ov *dirOps, committed func(shard int) bool) {
+	r.mu.Lock()
+	for k, s := range ov.del {
+		if committed == nil || committed(s) {
+			delete(r.dir, k)
+		}
+	}
+	for k, s := range ov.set {
+		if committed == nil || committed(s) {
+			r.dir[k] = s
+		}
+	}
+	r.mu.Unlock()
+}
+
+// writeFootprint returns the tables a distributed statement on table may
+// write: the table itself plus its transitive FK children (a routing-key
+// change migrates the row's co-located subtree, which writes the child
+// tables on both shards).
+func (r *Router) writeFootprint(table string) []string {
+	out := []string{table}
+	seen := map[string]bool{table: true}
+	for i := 0; i < len(out); i++ {
+		rt := r.routes[out[i]]
+		if rt == nil {
+			continue
+		}
+		for _, cr := range rt.children {
+			if !seen[cr.table] {
+				seen[cr.table] = true
+				out = append(out, cr.table)
+			}
+		}
+	}
+	return out
+}
+
+// DirSize reports the number of directory entries (for stats).
+func (r *Router) DirSize() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.dir)
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"quark/internal/core"
+)
+
+// TestGenStreamDeterministic: the same (Params, StreamParams, seed) yields
+// the same ops element for element — the property that makes a fuzzer
+// failure replayable from its logged seed — and a different seed yields a
+// different stream.
+func TestGenStreamDeterministic(t *testing.T) {
+	p := Params{Depth: 2, LeafTuples: 256, Fanout: 16, NumTriggers: 10, NumSatisfied: 2}
+	sp := DefaultStream(200)
+	a, err := GenStream(p, sp, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenStream(p, sp, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		for i := range a {
+			if !reflect.DeepEqual(a[i], b[i]) {
+				t.Fatalf("op %d differs between identical seeds:\n%+v\n%+v", i, a[i], b[i])
+			}
+		}
+		t.Fatal("streams differ in length")
+	}
+	c, err := GenStream(p, sp, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("seeds 42 and 43 generated identical streams")
+	}
+}
+
+// TestGenStreamWellFormed: generated ops respect the key-space contract —
+// inserts never collide with live ids, deletes and moves target live
+// leaves, moves change the parent, and payloads never repeat (no no-op
+// updates).
+func TestGenStreamWellFormed(t *testing.T) {
+	p := Params{Depth: 2, LeafTuples: 128, Fanout: 16, NumTriggers: 10, NumSatisfied: 1}
+	sp := DefaultStream(500)
+	ops, err := GenStream(p, sp, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[int64]int64{} // leaf -> parent
+	numTop := p.NumTop()
+	for i := 0; i < numTop*p.Fanout; i++ {
+		live[int64(i)] = int64(i / p.Fanout)
+	}
+	seenPayload := map[float64]bool{}
+	kinds := map[OpKind]int{}
+	batches := 0
+	for oi, op := range ops {
+		if len(op.Batch) > 1 {
+			batches++
+			roots := map[int64]bool{}
+			for _, lo := range op.Batch {
+				if lo.Kind == OpUpdate {
+					roots[live[lo.Leaf]] = true
+				} else {
+					roots[lo.Parent] = true
+				}
+			}
+			if len(roots) < 2 {
+				t.Errorf("op %d: batch touches %d roots, want >= 2", oi, len(roots))
+			}
+		}
+		for _, lo := range op.Batch {
+			kinds[lo.Kind]++
+			switch lo.Kind {
+			case OpUpdate:
+				if _, ok := live[lo.Leaf]; !ok {
+					t.Fatalf("op %d updates dead leaf %d", oi, lo.Leaf)
+				}
+				if lo.Payload < 1000 || seenPayload[lo.Payload] {
+					t.Fatalf("op %d: payload %v reused or out of range", oi, lo.Payload)
+				}
+				seenPayload[lo.Payload] = true
+			case OpInsert:
+				if _, ok := live[lo.Leaf]; ok {
+					t.Fatalf("op %d inserts existing leaf %d", oi, lo.Leaf)
+				}
+				live[lo.Leaf] = lo.Parent
+				if seenPayload[lo.Payload] {
+					t.Fatalf("op %d: payload %v reused", oi, lo.Payload)
+				}
+				seenPayload[lo.Payload] = true
+			case OpDelete:
+				if _, ok := live[lo.Leaf]; !ok {
+					t.Fatalf("op %d deletes dead leaf %d", oi, lo.Leaf)
+				}
+				delete(live, lo.Leaf)
+			case OpMove:
+				cur, ok := live[lo.Leaf]
+				if !ok {
+					t.Fatalf("op %d moves dead leaf %d", oi, lo.Leaf)
+				}
+				if cur == lo.Parent {
+					t.Fatalf("op %d moves leaf %d to its own root %d", oi, lo.Leaf, lo.Parent)
+				}
+				live[lo.Leaf] = lo.Parent
+			}
+		}
+	}
+	for _, k := range []OpKind{OpUpdate, OpInsert, OpDelete, OpMove} {
+		if kinds[k] == 0 {
+			t.Errorf("stream of 500 ops generated no ops of kind %d", k)
+		}
+	}
+	if batches == 0 {
+		t.Error("stream generated no batch ops")
+	}
+}
+
+// TestBuildShardedParity: BuildSharded holds exactly the single-engine
+// data (per-table row counts across the fleet) and fires the same number
+// of notifications for the same routed update.
+func TestBuildShardedParity(t *testing.T) {
+	p := Params{Depth: 2, LeafTuples: 256, Fanout: 16, NumTriggers: 20, NumSatisfied: 3}
+	single, err := Build(p, core.ModeGrouped, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := BuildSharded(p, core.ModeGrouped, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lvl := 0; lvl < p.Depth; lvl++ {
+		table := p.TableName(lvl)
+		want := single.DB.RowCount(table)
+		got := 0
+		for i := 0; i < sharded.Engine.NumShards(); i++ {
+			got += sharded.Engine.Shard(i).DB().RowCount(table)
+		}
+		if got != want {
+			t.Errorf("%s: fleet holds %d rows, single engine %d", table, got, want)
+		}
+	}
+	// Same leaf, same payload change on both engines: leaf 0 sits under
+	// top element 0, which NumSatisfied triggers watch.
+	if err := sharded.UpdateLeafOn(0, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if got := sharded.Notifications.Load(); got != int64(p.NumSatisfied) {
+		t.Errorf("sharded update fired %d notifications, want %d", got, p.NumSatisfied)
+	}
+}

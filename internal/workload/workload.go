@@ -3,7 +3,34 @@
 // depth, synthetic data with a configurable number of leaf tuples and
 // fanout, the XML view nesting children inside parents with the
 // count(...) >= 2 predicate on the lowest level, and populations of
-// structurally similar XML triggers with configurable selectivity.
+// structurally similar XML triggers with configurable selectivity. It
+// also builds the same workload over a sharded engine (BuildSharded) and
+// generates seeded, replayable update streams (GenStream) for the
+// differential fuzzer in internal/conformance.
+//
+// # Key-space assumptions
+//
+// Everything downstream — UpdateOneLeaf's targeting, the shard router's
+// root partitioning, and GenStream's replayability — leans on the
+// deterministic id layout Build produces. The contract is:
+//
+//   - Top-level rows have ids 0..NumTop()-1, where NumTop() =
+//     max(1, LeafTuples/Fanout). Ids are dense and never reused.
+//   - Each deeper level uses per-table 0-based sequential ids; the parent
+//     of row i at branching factor b is i/b. Consequently each top
+//     element owns one contiguous block of Fanout leaves, and for
+//     Depth == 2 the leaf with id i belongs to top element i/Fanout.
+//   - The initial leaf id space is exactly 0..NumTop()*Fanout-1.
+//     GenStream allocates fresh leaf ids upward from NumTop()*Fanout, so
+//     generated inserts can never collide with seeded rows or each other.
+//   - Payloads are floats: seeded rows draw from 50..249; GenStream
+//     writes values >= 1000 that are unique within the stream, so a
+//     generated update is never a no-op (a no-op would fire differently
+//     through statement-level and batched execution paths).
+//   - Streams are pure functions of (Params, StreamParams, seed): the
+//     same inputs yield the same []Op, element for element
+//     (TestGenStreamDeterministic pins this down — it is what makes a
+//     fuzzer failure replayable from its logged seed).
 package workload
 
 import (
@@ -135,6 +162,65 @@ func viewLevel(p Params, lvl int) string {
 	return b.String()
 }
 
+// NumTop returns the number of top-level elements the layout produces
+// (see the package doc's key-space contract).
+func (p Params) NumTop() int {
+	n := p.LeafTuples / p.Fanout
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// branching returns the children-per-node factor at each level edge:
+// Fanout spread over Depth-1 levels (factor 2 at intermediate edges, the
+// remainder at the leaf edge).
+func (p Params) branching() []int {
+	branch := make([]int, p.Depth-1)
+	remaining := p.Fanout
+	for i := 0; i < p.Depth-2; i++ {
+		branch[i] = 2
+		remaining /= 2
+	}
+	if remaining < 1 {
+		remaining = 1
+	}
+	branch[p.Depth-2] = remaining
+	return branch
+}
+
+// genRows produces every level's initial rows (index 0 = the top table)
+// plus the top names, drawing payloads from rng in the fixed order both
+// Build and BuildSharded share — the single source of the key-space
+// contract in the package doc.
+func genRows(p Params, rng *rand.Rand) (topNames []string, levels [][]reldb.Row) {
+	numTop := p.NumTop()
+	branch := p.branching()
+	topNames = make([]string, numTop)
+	top := make([]reldb.Row, numTop)
+	for i := 0; i < numTop; i++ {
+		topNames[i] = fmt.Sprintf("Item %06d", i)
+		top[i] = reldb.Row{xdm.Int(int64(i)), xdm.Str(topNames[i])}
+	}
+	levels = append(levels, top)
+	parents := numTop
+	for lvl := 1; lvl < p.Depth; lvl++ {
+		bfac := branch[lvl-1]
+		count := parents * bfac
+		rows := make([]reldb.Row, count)
+		for i := 0; i < count; i++ {
+			rows[i] = reldb.Row{
+				xdm.Int(int64(i)),
+				xdm.Int(int64(i / bfac)),
+				xdm.Float(float64(50 + rng.Intn(200))),
+			}
+		}
+		levels = append(levels, rows)
+		parents = count
+	}
+	return topNames, levels
+}
+
 // Build creates the schema, loads data, compiles the view, and registers
 // the triggers in the given mode. Data layout: the number of top elements
 // is LeafTuples/Fanout; intermediate levels use a uniform branching factor
@@ -150,51 +236,12 @@ func Build(p Params, mode core.Mode, seed int64) (*Setup, error) {
 	}
 	w := &Setup{Params: p, Schema: s, DB: db, rng: rand.New(rand.NewSource(seed))}
 
-	numTop := p.LeafTuples / p.Fanout
-	if numTop < 1 {
-		numTop = 1
-	}
-	// Branching per intermediate level: spread Fanout over Depth-1 levels.
-	branch := make([]int, p.Depth-1) // children per node at each level edge
-	remaining := p.Fanout
-	for i := 0; i < p.Depth-2; i++ {
-		branch[i] = 2
-		remaining /= 2
-	}
-	if remaining < 1 {
-		remaining = 1
-	}
-	branch[p.Depth-2] = remaining
-
-	// Top level rows.
-	w.TopNames = make([]string, numTop)
-	top := make([]reldb.Row, numTop)
-	for i := 0; i < numTop; i++ {
-		w.TopNames[i] = fmt.Sprintf("Item %06d", i)
-		top[i] = reldb.Row{xdm.Int(int64(i)), xdm.Str(w.TopNames[i])}
-	}
-	if err := db.Insert(p.TableName(0), top...); err != nil {
-		return nil, err
-	}
-	// Deeper levels: per-table 0-based sequential ids; parent of row i at
-	// branching factor b is i/b, so each top element owns a contiguous
-	// block of Fanout leaves (top element 0 owns leaves 0..Fanout-1).
-	parents := numTop
-	for lvl := 1; lvl < p.Depth; lvl++ {
-		bfac := branch[lvl-1]
-		count := parents * bfac
-		rows := make([]reldb.Row, count)
-		for i := 0; i < count; i++ {
-			rows[i] = reldb.Row{
-				xdm.Int(int64(i)),
-				xdm.Int(int64(i / bfac)),
-				xdm.Float(float64(50 + w.rng.Intn(200))),
-			}
-		}
+	topNames, levels := genRows(p, w.rng)
+	w.TopNames = topNames
+	for lvl, rows := range levels {
 		if err := db.Insert(p.TableName(lvl), rows...); err != nil {
 			return nil, err
 		}
-		parents = count
 	}
 
 	// Engine, view, triggers.
@@ -223,31 +270,26 @@ func Build(p Params, mode core.Mode, seed int64) (*Setup, error) {
 // update satisfies exactly numSatisfied triggers (Table 2's "number of
 // satisfied triggers").
 func (w *Setup) CreateTriggers(n, numSatisfied int) error {
-	if numSatisfied > n {
-		numSatisfied = n
-	}
 	for i := 0; i < n; i++ {
-		name := w.TopNames[0]
-		if i >= numSatisfied {
-			// Unsatisfied triggers reference other (never-updated) names.
-			name = w.TopNames[1+i%(max(1, len(w.TopNames)-1))]
-			if name == w.TopNames[0] {
-				name = "No Such Item"
-			}
-		}
-		src := fmt.Sprintf(`CREATE TRIGGER trig%d AFTER UPDATE ON view('doc')/e0 WHERE NEW_NODE/@name = '%s' DO notify(NEW_NODE)`, i, name)
-		if err := w.Engine.CreateTrigger(src); err != nil {
+		if err := w.Engine.CreateTrigger(triggerSrc(w.TopNames, i, min(numSatisfied, n))); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// triggerSrc renders the i-th structurally similar trigger: the first
+// numSatisfied watch top element 0's name; the rest spread over the other
+// names, so updates under any top element fire the triggers watching it.
+func triggerSrc(topNames []string, i, numSatisfied int) string {
+	name := topNames[0]
+	if i >= numSatisfied {
+		name = topNames[1+i%(max(1, len(topNames)-1))]
+		if name == topNames[0] {
+			name = "No Such Item"
+		}
 	}
-	return b
+	return fmt.Sprintf(`CREATE TRIGGER trig%d AFTER UPDATE ON view('doc')/e0 WHERE NEW_NODE/@name = '%s' DO notify(NEW_NODE)`, i, name)
 }
 
 // LeafTable returns the leaf table's name.
