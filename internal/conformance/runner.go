@@ -61,6 +61,15 @@ type RunOpts struct {
 	// must STILL come out byte-identical to the single-engine goldens —
 	// the sharding subsystem's observational-equivalence claim.
 	Shards int
+	// AbortFirst attempts every batched begin..commit block TWICE: first
+	// with a prepare-phase failure armed on the engine (every shard of a
+	// sharded run) — the attempt must error, deliver nothing, and leave no
+	// state behind, which the two-phase protocol guarantees by rolling
+	// every participant back — and then for real. The final log must still
+	// come out byte-identical to the plain batched goldens: an aborted
+	// transaction leaves zero trace, or the retry (and every later unit)
+	// would diverge.
+	AbortFirst bool
 }
 
 // runEngine is the slice of the engine surface the runner needs, served
@@ -77,6 +86,10 @@ type runEngine interface {
 	Drain()
 	Close() error
 	Batch(fn func(stmtWriter) error) error
+	// armPrepareFail / disarmPrepareFail install and clear a prepare-phase
+	// failure on every underlying engine (the AbortFirst injection seam).
+	armPrepareFail(err error)
+	disarmPrepareFail()
 }
 
 // coreRun adapts one core.Engine (initial data loads straight into the
@@ -116,6 +129,10 @@ func (r coreRun) Delete(table string, pred func(reldb.Row) bool) (int, error) {
 func (r coreRun) Batch(fn func(stmtWriter) error) error {
 	return r.e.Batch(func(tx *reldb.Tx) error { return fn(txWriter{tx}) })
 }
+func (r coreRun) armPrepareFail(err error) {
+	r.e.SetPrepareCheck(func([]core.Invocation) error { return err })
+}
+func (r coreRun) disarmPrepareFail() { r.e.SetPrepareCheck(nil) }
 
 // shardRun adapts a sharded engine; initial data routes through the
 // shard layer so the directory knows every row.
@@ -147,6 +164,16 @@ func (r shardRun) Delete(table string, pred func(reldb.Row) bool) (int, error) {
 }
 func (r shardRun) Batch(fn func(stmtWriter) error) error {
 	return r.e.Batch(func(tx *shard.Tx) error { return fn(tx) })
+}
+func (r shardRun) armPrepareFail(err error) {
+	for i := 0; i < r.e.NumShards(); i++ {
+		r.e.Shard(i).SetPrepareCheck(func([]core.Invocation) error { return err })
+	}
+}
+func (r shardRun) disarmPrepareFail() {
+	for i := 0; i < r.e.NumShards(); i++ {
+		r.e.Shard(i).SetPrepareCheck(nil)
+	}
 }
 
 // RunStyle executes the scenario's script in the given translation mode
@@ -300,18 +327,39 @@ func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
 			i = j + 1
 			continue
 		default:
-			err := e.Batch(func(tx stmtWriter) error {
-				for _, bs := range block {
-					if err := sc.execStmt(tx, bs); err != nil {
-						return fmt.Errorf("%s: %w", bs.Text, err)
+			runBlock := func() error {
+				return e.Batch(func(tx stmtWriter) error {
+					for _, bs := range block {
+						if err := sc.execStmt(tx, bs); err != nil {
+							return fmt.Errorf("%s: %w", bs.Text, err)
+						}
 					}
+					if rollback {
+						return errRollback
+					}
+					return nil
+				})
+			}
+			if opts.AbortFirst && !rollback {
+				// Dress rehearsal: the armed prepare failure must abort the
+				// block with nothing delivered and no state applied — the
+				// real attempt below (and every later unit) re-proves the
+				// no-state-leak half against the goldens.
+				e.armPrepareFail(fmt.Errorf("conformance: injected prepare failure"))
+				err := runBlock()
+				e.disarmPrepareFail()
+				if err == nil {
+					return "", fmt.Errorf("%s: armed prepare failure did not abort the block", label)
 				}
-				if rollback {
-					return errRollback
+				e.Drain()
+				unitMu.Lock()
+				leaked := len(unit)
+				unitMu.Unlock()
+				if leaked != 0 {
+					return "", fmt.Errorf("%s: aborted block delivered %d notifications", label, leaked)
 				}
-				return nil
-			})
-			if err != nil && err != errRollback {
+			}
+			if err := runBlock(); err != nil && err != errRollback {
 				return "", err
 			}
 		}

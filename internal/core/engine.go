@@ -167,6 +167,14 @@ type Engine struct {
 	// AttachSharedDispatcher): Close drains it but must not stop it.
 	dispShared atomic.Bool
 
+	// prepCheck, when set, vets every batch transaction at the end of its
+	// prepare phase (BatchHandle.Prepare) with the staged invocation set.
+	// An error fails the prepare — before anything was delivered — so a
+	// coordinator can roll every participant back. It doubles as
+	// admission control and as the failure-injection seam the conformance
+	// suite uses to prove all-or-nothing cross-shard commits.
+	prepCheck atomic.Pointer[func([]Invocation) error]
+
 	fires   atomic.Int64
 	actsRun atomic.Int64
 }
@@ -573,13 +581,18 @@ func (e *Engine) deliver(fnName string, inv Invocation) error {
 	return nil
 }
 
-// obLock returns the trigger's stripe lock.
-func (e *Engine) obLock(trigger string) *sync.Mutex {
+// obStripeIdx returns the trigger's stripe index.
+func (e *Engine) obStripeIdx(trigger string) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(trigger); i++ {
 		h = (h ^ uint32(trigger[i])) * 16777619 // FNV-1a
 	}
-	return &e.obStripes.mu[h%uint32(len(e.obStripes.mu))]
+	return int(h % uint32(len(e.obStripes.mu)))
+}
+
+// obLock returns the trigger's stripe lock.
+func (e *Engine) obLock(trigger string) *sync.Mutex {
+	return &e.obStripes.mu[e.obStripeIdx(trigger)]
 }
 
 // deliverDurable is deliver with the outbox enabled: append, then deliver
@@ -594,19 +607,7 @@ func (e *Engine) obLock(trigger string) *sync.Mutex {
 // an inline violation now deadlocks on the stripe instead of racing.
 func (e *Engine) deliverDurable(ob *outboxState, d *dispatch.Dispatcher, fn ActionFunc, fnName string, inv Invocation) error {
 	rec := &wire.Record{Trigger: inv.Trigger, Event: inv.Event, Old: inv.Old, New: inv.New, Args: inv.Args}
-	run := func() error {
-		e.actsRun.Add(1)
-		var err error
-		if ob.sink != nil {
-			err = ob.sink.Deliver(rec)
-		} else {
-			err = fn(inv)
-		}
-		if err != nil {
-			return err // unacked: the record stays due for replay
-		}
-		return ob.log.Ack(rec.Seq)
-	}
+	run := e.durableRun(ob, fn, inv, rec)
 	mu := e.obLock(inv.Trigger)
 	mu.Lock()
 	if _, err := ob.log.Append(rec); err != nil {
@@ -625,6 +626,208 @@ func (e *Engine) deliverDurable(ob *outboxState, d *dispatch.Dispatcher, fn Acti
 	mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("core: dispatching action %s of trigger %s: %w", fnName, inv.Trigger, err)
+	}
+	return nil
+}
+
+// durableRun builds the delivery closure of one durable record: sink (or
+// registered action), then ack. A failed delivery leaves the record
+// unacknowledged — due for replay — and counts against its dead-letter
+// retry budget (outbox Options.RetryLimit), so a permanently failing
+// record eventually moves to the dead-letter file instead of pinning the
+// watermark forever.
+func (e *Engine) durableRun(ob *outboxState, fn ActionFunc, inv Invocation, rec *wire.Record) func() error {
+	return func() error {
+		e.actsRun.Add(1)
+		var err error
+		if ob.sink != nil {
+			err = ob.sink.Deliver(rec)
+		} else {
+			err = fn(inv)
+		}
+		if err != nil {
+			if _, dlErr := ob.log.NoteFailure(rec); dlErr != nil {
+				// A failing dead-letter file must not silently disable the
+				// policy: surface it alongside the delivery error so the
+				// operator learns the record cannot be quarantined.
+				return fmt.Errorf("%w (dead-letter quarantine failed: %v)", err, dlErr)
+			}
+			return err
+		}
+		return ob.log.Ack(rec.Seq)
+	}
+}
+
+// batchState is the engine's per-commit scratch riding on
+// BatchInfo.EngineState: activation dedup across the commit's plans, the
+// staged invocation set (inspected by the prepare check), and the
+// group-commit wave when the outbox is enabled. All firing waves of one
+// commit run on the committing goroutine, so no locking is needed.
+type batchState struct {
+	seen   map[string]bool
+	staged []Invocation
+	wave   *deliveryWave
+}
+
+// batchStateOf returns the commit's engine state, creating it on first use.
+func batchStateOf(b *reldb.BatchInfo) *batchState {
+	if st, ok := b.EngineState.(*batchState); ok {
+		return st
+	}
+	st := &batchState{seen: map[string]bool{}}
+	b.EngineState = st
+	return st
+}
+
+// waveItem is one staged durable delivery.
+type waveItem struct {
+	fnName string
+	fn     ActionFunc
+	inv    Invocation
+	rec    *wire.Record
+}
+
+// deliveryWave batches one commit's durable deliveries for group commit:
+// at Tx.Commit every record of the wave is appended to the outbox as ONE
+// contiguous write (and at most one fsync), then delivered in staging
+// order. The whole wave runs under the stripe locks of every trigger it
+// touches — taken in index order, so waves and single-statement
+// deliveries can never deadlock — which preserves the log-order =
+// lane-order invariant for the grouped appends exactly as the per-record
+// stripe does for single statements. The cost is that a wave parked in
+// Block-policy backpressure holds its stripes a little longer; the win is
+// one write syscall per firing wave instead of one per record.
+type deliveryWave struct {
+	e     *Engine
+	items []waveItem
+}
+
+// add stages one delivery; it reports whether this was the wave's first
+// item (the caller then stages wave.run with the transaction).
+func (w *deliveryWave) add(fnName string, fn ActionFunc, inv Invocation) bool {
+	w.items = append(w.items, waveItem{fnName: fnName, fn: fn, inv: inv,
+		rec: &wire.Record{Trigger: inv.Trigger, Event: inv.Event, Old: inv.Old, New: inv.New, Args: inv.Args}})
+	return len(w.items) == 1
+}
+
+// run is the wave's single staged thunk: group-append, then deliver (or
+// enqueue) each item in staging order. A delivery error aborts the rest
+// of the wave; its records are already durable and unacknowledged, so a
+// replay finishes what the aborted wave did not — at-least-once holds
+// even for the suffix the pre-group-commit engine would never have
+// appended.
+func (w *deliveryWave) run() error {
+	e := w.e
+	ob := e.ob.Load()
+	if ob == nil {
+		// The outbox vanished between staging and commit (teardown-time
+		// misuse); deliver plainly rather than drop the wave.
+		for _, it := range w.items {
+			if err := e.deliver(it.fnName, it.inv); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	d := e.dispatcher.Load()
+	var idxs []int
+	seen := map[int]bool{}
+	for _, it := range w.items {
+		if i := e.obStripeIdx(it.inv.Trigger); !seen[i] {
+			seen[i] = true
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		e.obStripes.mu[i].Lock()
+	}
+	defer func() {
+		for j := len(idxs) - 1; j >= 0; j-- {
+			e.obStripes.mu[idxs[j]].Unlock()
+		}
+	}()
+	recs := make([]*wire.Record, len(w.items))
+	for i, it := range w.items {
+		recs[i] = it.rec
+	}
+	if _, err := w.e.obAppendBatch(ob, recs); err != nil {
+		return err
+	}
+	for _, it := range w.items {
+		run := e.durableRun(ob, it.fn, it.inv, it.rec)
+		if d == nil {
+			if err := run(); err != nil {
+				return fmt.Errorf("core: action %s of trigger %s: %w", it.fnName, it.inv.Trigger, err)
+			}
+			continue
+		}
+		if err := d.Enqueue(dispatch.Delivery{Trigger: it.inv.Trigger, Run: run}); err != nil {
+			return fmt.Errorf("core: dispatching action %s of trigger %s: %w", it.fnName, it.inv.Trigger, err)
+		}
+	}
+	return nil
+}
+
+// obAppendBatch group-appends the wave's records.
+func (e *Engine) obAppendBatch(ob *outboxState, recs []*wire.Record) (uint64, error) {
+	first, err := ob.log.AppendBatch(recs)
+	if err != nil {
+		return 0, fmt.Errorf("core: outbox group append of %d records: %w", len(recs), err)
+	}
+	return first, nil
+}
+
+// stageOrDeliver routes one activation: immediate delivery for
+// statement-level firings, staged for a transaction's prepare phase. In
+// staged mode with the outbox enabled, deliveries accumulate on the
+// commit's group-commit wave; otherwise each delivery stages its own
+// thunk, preserving activation order either way.
+func (e *Engine) stageOrDeliver(ctx *reldb.FireContext, fnName string, inv Invocation) error {
+	if ctx == nil || ctx.Stage == nil {
+		return e.deliver(fnName, inv)
+	}
+	st := batchStateOf(ctx.Batch)
+	st.staged = append(st.staged, inv)
+	if e.ob.Load() != nil {
+		if st.wave == nil {
+			st.wave = &deliveryWave{e: e}
+		}
+		if st.wave.add(fnName, e.action(fnName), inv) {
+			ctx.Stage(st.wave.run)
+		}
+		return nil
+	}
+	fn := fnName
+	staged := inv
+	ctx.Stage(func() error { return e.deliver(fn, staged) })
+	return nil
+}
+
+// SetPrepareCheck installs (or, with nil, clears) the transaction
+// admission check: fn runs at the end of every batch transaction's
+// prepare phase with the invocation set the transaction staged, and an
+// error fails the prepare — the transaction can still be rolled back
+// everywhere, nothing having been delivered. Coordinators use it to veto
+// commits fleet-wide; the conformance suite uses it to inject
+// prepare-time failures and prove the two-phase protocol leaves no
+// partial state behind.
+func (e *Engine) SetPrepareCheck(fn func([]Invocation) error) {
+	if fn == nil {
+		e.prepCheck.Store(nil)
+		return
+	}
+	e.prepCheck.Store(&fn)
+}
+
+// stagedInvocations extracts the invocation set a prepared transaction
+// staged (empty when no trigger fired).
+func (e *Engine) stagedInvocations(b *reldb.BatchInfo) []Invocation {
+	if b == nil {
+		return nil
+	}
+	if st, ok := b.EngineState.(*batchState); ok {
+		return st.staged
 	}
 	return nil
 }
@@ -1129,7 +1332,7 @@ func (e *Engine) fire(g *group, plan *installedPlan, ctx *reldb.FireContext) err
 	deltas := map[string]*xqgm.Transition{
 		ctx.Table: {Inserted: ctx.Inserted, Deleted: ctx.Deleted},
 	}
-	return e.activate(g, plan, plan.root, plan.an, deltas, nil)
+	return e.activate(g, plan, plan.root, plan.an, deltas, ctx)
 }
 
 // fireBatch runs the plan once for a whole committed transaction.
@@ -1152,25 +1355,18 @@ func (e *Engine) fireBatch(g *group, plan *installedPlan, ctx *reldb.FireContext
 	if len(deltas) > 1 && plan.batchRoot != nil {
 		root, an = plan.batchRoot, plan.batchAN
 	}
-	return e.activate(g, plan, root, an, deltas, batchSeen(ctx.Batch))
+	return e.activate(g, plan, root, an, deltas, ctx)
 }
 
-// batchSeen returns the commit's activation dedup set, creating it on
-// first use and caching it on the BatchInfo (all firing waves of one
-// commit share the BatchInfo and run on the committing goroutine, so no
-// locking is needed and the state is collected with the commit).
-func batchSeen(b *reldb.BatchInfo) map[string]bool {
-	if seen, ok := b.EngineState.(map[string]bool); ok {
-		return seen
+// activate evaluates a trigger plan and invokes — or, in a prepare-phase
+// staging pass, stages — the member actions. Batched firings dedup
+// activations across the plans of one commit via the batch state riding
+// on ctx.Batch.
+func (e *Engine) activate(g *group, plan *installedPlan, root *xqgm.Operator, an *affected.ANGraph, deltas map[string]*xqgm.Transition, ctx *reldb.FireContext) error {
+	var seen map[string]bool
+	if ctx.Batch != nil {
+		seen = batchStateOf(ctx.Batch).seen
 	}
-	seen := map[string]bool{}
-	b.EngineState = seen
-	return seen
-}
-
-// activate evaluates a trigger plan and invokes the member actions; seen,
-// when non-nil, dedups activations across the plans of one commit.
-func (e *Engine) activate(g *group, plan *installedPlan, root *xqgm.Operator, an *affected.ANGraph, deltas map[string]*xqgm.Transition, seen map[string]bool) error {
 	ectx := xqgm.NewEvalContext(e.db, deltas)
 	rows, err := ectx.Eval(root)
 	if err != nil {
@@ -1221,7 +1417,7 @@ func (e *Engine) activate(g *group, plan *installedPlan, root *xqgm.Operator, an
 				}
 				args[i] = v
 			}
-			if err := e.deliver(ti.Spec.ActionFn, Invocation{
+			if err := e.stageOrDeliver(ctx, ti.Spec.ActionFn, Invocation{
 				Trigger: id,
 				Event:   g.event,
 				Old:     oldNode,
@@ -1416,10 +1612,11 @@ func (e *Engine) Batch(fn func(*reldb.Tx) error) error {
 // order — where the callback shape of Batch cannot express the control
 // flow. Handles are not safe for concurrent use.
 type BatchHandle struct {
-	e      *Engine
-	tx     *reldb.Tx
-	unlock func()
-	done   bool
+	e        *Engine
+	tx       *reldb.Tx
+	unlock   func()
+	done     bool
+	prepared bool
 }
 
 // BeginBatch flushes pending trigger builds, write-locks every table, and
@@ -1439,10 +1636,45 @@ func (h *BatchHandle) Tx() *reldb.Tx { return h.tx }
 // Engine returns the engine the handle belongs to.
 func (h *BatchHandle) Engine() *Engine { return h.e }
 
-// Commit fires the merged transition tables and releases the locks.
+// Prepare runs the transaction's prepare phase without finishing the
+// handle: the merged net deltas are computed, trigger conditions evaluate,
+// and the resulting invocation set is staged (nothing is delivered). Any
+// error — evaluation, cascade, or the engine's prepare check — leaves the
+// handle open so the caller can Rollback, which is what lets a
+// coordinator prepare every participant before committing any of them.
+// Prepare on an already-prepared handle is a no-op; locks stay held until
+// Commit or Rollback.
+func (h *BatchHandle) Prepare() error {
+	if h.done {
+		return fmt.Errorf("core: batch already finished")
+	}
+	if h.prepared {
+		return nil
+	}
+	if err := h.tx.Prepare(); err != nil {
+		return err
+	}
+	if chk := h.e.prepCheck.Load(); chk != nil {
+		if err := (*chk)(h.e.stagedInvocations(h.tx.Staged())); err != nil {
+			return err
+		}
+	}
+	h.prepared = true
+	return nil
+}
+
+// Commit finishes the handle: an unprepared handle prepares first — and a
+// prepare-phase error rolls the transaction back all-or-nothing, since
+// nothing was delivered yet — then the staged deliveries run (delivery
+// errors surface but the applied state stands, AFTER-trigger style) and
+// the locks release.
 func (h *BatchHandle) Commit() error {
 	if h.done {
 		return fmt.Errorf("core: batch already finished")
+	}
+	if err := h.Prepare(); err != nil {
+		_ = h.Rollback()
+		return err
 	}
 	h.done = true
 	defer h.unlock()

@@ -69,7 +69,15 @@ func (e *Engine) buildMaterialized(g *group) error {
 		if err != nil {
 			return err
 		}
-		defer func() { state.rows = after }()
+		if ctx.Stage != nil {
+			// Prepare-phase staging: the snapshot publishes only when the
+			// transaction commits. A rolled-back prepare must leave the
+			// diff baseline untouched, or the next firing would diff
+			// against state that never existed.
+			ctx.Stage(func() error { state.rows = after; return nil })
+		} else {
+			defer func() { state.rows = after }()
+		}
 		before := state.rows
 
 		type pair struct {
@@ -128,7 +136,7 @@ func (e *Engine) buildMaterialized(g *group) error {
 					New:     p.new[g.nav.NodeCol].AsNode(),
 					Args:    avals,
 				}
-				if err := e.deliver(ti.Spec.ActionFn, inv); err != nil {
+				if err := e.stageOrDeliver(ctx, ti.Spec.ActionFn, inv); err != nil {
 					return err
 				}
 			}

@@ -1,0 +1,266 @@
+package outbox
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"quark/internal/wire"
+)
+
+// poisonSink fails every delivery of the poison trigger and records the
+// rest.
+type poisonSink struct {
+	poison    string
+	delivered []uint64
+	failures  int
+}
+
+func (s *poisonSink) Deliver(r *wire.Record) error {
+	if r.Trigger == s.poison {
+		s.failures++
+		return fmt.Errorf("poison record %d", r.Seq)
+	}
+	s.delivered = append(s.delivered, r.Seq)
+	return nil
+}
+
+// TestDeadLetterUnpinsWatermark: a permanently failing record is moved to
+// the dead-letter file once its retry budget is spent, the watermark
+// advances past it, and the suffix above it replays.
+func TestDeadLetterUnpinsWatermark(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{RetryLimit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 5; i++ {
+		trig := "ok"
+		if i == 2 {
+			trig = "poison"
+		}
+		if _, err := l.Append(rec(trig, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink := &poisonSink{poison: "poison"}
+	// Attempts 1 and 2 stop at the poison record (budget not yet spent);
+	// record 1 delivers on the first pass and is skipped afterwards.
+	for attempt := 1; attempt <= 2; attempt++ {
+		if _, err := l.Replay(sink); err == nil {
+			t.Fatalf("replay attempt %d: expected the poison record to stop the pass", attempt)
+		}
+		if got := l.Acked(); got != 1 {
+			t.Fatalf("replay attempt %d: watermark = %d, want 1 (pinned)", attempt, got)
+		}
+	}
+	// Attempt 3 exhausts the budget: the record dead-letters, the pass
+	// continues, and the whole log acknowledges.
+	n, err := l.Replay(sink)
+	if err != nil {
+		t.Fatalf("final replay: %v", err)
+	}
+	if n != 3 { // records 3, 4, 5
+		t.Errorf("final replay delivered %d, want 3", n)
+	}
+	if got := l.Acked(); got != 5 {
+		t.Errorf("watermark = %d, want 5 (poison record acknowledged via dead-letter)", got)
+	}
+	if sink.failures != 3 {
+		t.Errorf("poison record was attempted %d times, want exactly RetryLimit=3", sink.failures)
+	}
+	dead, err := l.DeadLetters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 1 || dead[0].Seq != 2 || dead[0].Trigger != "poison" {
+		t.Fatalf("dead letters = %+v, want exactly record 2", dead)
+	}
+	if st := l.Stats(); st.DeadLetters != 1 {
+		t.Errorf("Stats.DeadLetters = %d, want 1", st.DeadLetters)
+	}
+}
+
+// TestDeadLetterKillAndRestart is the acceptance scenario: a poison
+// record pins the watermark, the process dies, and after dead-lettering
+// on the restarted consumer a SECOND restart redelivers nothing — the
+// suffix above the poison record is no longer replayed.
+func TestDeadLetterKillAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		trig := "ok"
+		if i == 3 {
+			trig = "poison"
+		}
+		if _, err := l.Append(rec(trig, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Ack(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // crash with 2..6 due
+		t.Fatal(err)
+	}
+
+	// Restarted consumer with a bounded retry budget.
+	l, err = Open(dir, Options{RetryLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &poisonSink{poison: "poison"}
+	if _, err := l.Replay(sink); err == nil {
+		t.Fatal("first replay: poison record within budget must stop the pass")
+	}
+	n, err := l.Replay(sink)
+	if err != nil {
+		t.Fatalf("second replay: %v", err)
+	}
+	if n != 3 { // 4, 5, 6 (2 delivered on the first pass)
+		t.Errorf("second replay delivered %d, want 3", n)
+	}
+	if got := l.Acked(); got != 6 {
+		t.Fatalf("watermark = %d, want 6", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second restart: nothing is due — the poison record no longer pins
+	// the suffix, and the dead-letter file survived.
+	l, err = Open(dir, Options{RetryLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fresh := &poisonSink{poison: "poison"}
+	n, err = l.Replay(fresh)
+	if err != nil {
+		t.Fatalf("post-restart replay: %v", err)
+	}
+	if n != 0 || fresh.failures != 0 {
+		t.Errorf("post-restart replay redelivered %d records (%d poison attempts), want none", n, fresh.failures)
+	}
+	dead, err := l.DeadLetters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 1 || dead[0].Seq != 3 {
+		t.Fatalf("dead letters after restart = %+v, want record 3", dead)
+	}
+	if st := l.Stats(); st.DeadLetters != 1 {
+		t.Errorf("Stats.DeadLetters after restart = %d, want 1", st.DeadLetters)
+	}
+}
+
+// TestAutoCompactOnAppend: with AutoCompactLag set, appends reclaim
+// fully-acknowledged segments without any manual Compact call, keeping
+// the on-disk segment count bounded where a manual-only log grows without
+// limit.
+func TestAutoCompactOnAppend(t *testing.T) {
+	const n = 12
+	// Control: manual-only compaction accumulates one tiny segment per
+	// append (SegmentBytes 1 rotates every record).
+	ctl, err := Open(t.TempDir(), Options{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	// Under test: a lag-3 policy.
+	l, err := Open(t.TempDir(), Options{SegmentBytes: 1, AutoCompactLag: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= n; i++ {
+		for _, lg := range []*Log{ctl, l} {
+			if _, err := lg.Append(rec("t", i)); err != nil {
+				t.Fatal(err)
+			}
+			if err := lg.Ack(uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st := ctl.Stats(); st.Segments != n {
+		t.Fatalf("control grew %d segments, want %d (manual-only must not compact)", st.Segments, n)
+	}
+	st := l.Stats()
+	if st.Segments > 4 {
+		t.Fatalf("auto-compacting log holds %d segments after %d acked appends, want a bounded handful", st.Segments, n)
+	}
+	// The unacked tail is still fully readable after compaction.
+	if _, err := l.Append(rec("t", n+1)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.Records(uint64(n + 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != uint64(n+1) {
+		t.Fatalf("post-compact read-back = %+v", recs)
+	}
+}
+
+// TestAppendBatchGroupCommit: one AppendBatch call assigns contiguous
+// sequences in slice order, survives a reopen (scan compatibility), and
+// interleaves correctly with single appends.
+func TestAppendBatchGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(rec("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	batch := []*wire.Record{rec("a", 2), rec("b", 3), rec("a", 4)}
+	first, err := l.AppendBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 2 {
+		t.Fatalf("batch first seq = %d, want 2", first)
+	}
+	for i, r := range batch {
+		if r.Seq != uint64(2+i) {
+			t.Errorf("batch record %d assigned seq %d", i, r.Seq)
+		}
+	}
+	if _, err := l.Append(rec("b", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := l.NextSeq(); got != 6 {
+		t.Fatalf("reopened NextSeq = %d, want 6", got)
+	}
+	recs, err := l.Records(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, r := range recs {
+		got = append(got, fmt.Sprintf("%d:%s:%d", r.Seq, r.Trigger, r.Args[0].AsInt()))
+	}
+	want := "1:a:1 2:a:2 3:b:3 4:a:4 5:b:5"
+	if strings.Join(got, " ") != want {
+		t.Fatalf("read-back = %q, want %q", strings.Join(got, " "), want)
+	}
+
+	if _, err := l.AppendBatch(nil); err == nil {
+		t.Error("empty AppendBatch must error")
+	}
+}

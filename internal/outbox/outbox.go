@@ -14,6 +14,7 @@
 //
 //	seg-<first-seq>.log   length+CRC framed wire records, rotated by size
 //	ack                   8-byte little-endian acknowledged watermark
+//	dead.log              dead-lettered records (same framing), see Options.RetryLimit
 //
 // Crash tolerance: Open scans segments, validates every frame's CRC, and
 // truncates a torn tail (a record half-written when the process died), so
@@ -45,21 +46,38 @@ type Options struct {
 	// guarantees hold either way (the OS flushes the page cache); Sync
 	// extends them to power loss at a large throughput cost.
 	Sync bool
+	// RetryLimit bounds a record's delivery failures (live attempts and
+	// replay attempts both count, within one process lifetime): once a
+	// record has failed RetryLimit times, NoteFailure moves it to the
+	// dead-letter file and acknowledges it, so one poison record can no
+	// longer pin the watermark — later acks stop accumulating in memory,
+	// Compact reclaims its segment, and a restart no longer redelivers
+	// the suffix above it. 0 (the default) disables dead-lettering: a
+	// failing record stays due forever, the pre-dead-letter contract.
+	RetryLimit int
+	// AutoCompactLag, when positive, runs Compact automatically whenever
+	// an append observes the acknowledged watermark at least this many
+	// records past the start of the oldest on-disk segment — bounding the
+	// disk footprint of a long-running engine without manual Compact
+	// calls. 0 (the default) keeps compaction manual.
+	AutoCompactLag uint64
 }
 
 // Stats is a snapshot of the log's counters.
 type Stats struct {
-	Appended int64  // records appended over this Log's lifetime
-	Acked    uint64 // acknowledged watermark (every seq <= Acked is done)
-	NextSeq  uint64 // sequence the next append will receive
-	Segments int    // segment files on disk
+	Appended    int64  // records appended over this Log's lifetime
+	Acked       uint64 // acknowledged watermark (every seq <= Acked is done)
+	NextSeq     uint64 // sequence the next append will receive
+	Segments    int    // segment files on disk
+	DeadLetters int64  // records moved to the dead-letter file (lifetime of the directory)
 }
 
 const (
-	segPrefix   = "seg-"
-	segSuffix   = ".log"
-	ackFileName = "ack"
-	frameHeader = 8 // u32 payload length + u32 CRC32 (little-endian)
+	segPrefix    = "seg-"
+	segSuffix    = ".log"
+	ackFileName  = "ack"
+	deadFileName = "dead.log"
+	frameHeader  = 8 // u32 payload length + u32 CRC32 (little-endian)
 )
 
 // Log is an append-only outbox over one directory. All methods are safe
@@ -75,6 +93,9 @@ type Log struct {
 	nextSeq  uint64
 	acked    uint64          // contiguous watermark: all seq <= acked are done
 	pending  map[uint64]bool // acked out of order, still above the watermark
+	failures map[uint64]int  // per-record delivery failures (dead-letter budget)
+	deadF    *os.File        // dead-letter file (append mode), opened lazily
+	dead     int64           // records in the dead-letter file
 	ackF     *os.File
 	appended int64
 	closed   bool
@@ -90,11 +111,21 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts, nextSeq: 1, pending: map[uint64]bool{}}
+	l := &Log{dir: dir, opts: opts, nextSeq: 1, pending: map[uint64]bool{}, failures: map[uint64]int{}}
 	if err := l.loadAck(); err != nil {
 		return nil, err
 	}
 	if err := l.scanSegments(); err != nil {
+		return nil, err
+	}
+	// Count existing dead-letter records (the file survives restarts; a
+	// torn tail there truncates exactly like a segment's).
+	if dn, validBytes, err := scanSegmentFile(filepath.Join(dir, deadFileName)); err == nil {
+		if err := truncateTo(filepath.Join(dir, deadFileName), validBytes); err != nil {
+			return nil, err
+		}
+		l.dead = int64(dn)
+	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
 	// The watermark can be ahead of an empty log only through corruption;
@@ -226,28 +257,75 @@ func truncateTo(path string, size int64) error {
 	return os.Truncate(path, size)
 }
 
+// encodeFrame renders one record's length+CRC frame.
+func encodeFrame(rec *wire.Record) []byte {
+	payload := wire.Encode(rec)
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	return frame
+}
+
 // Append assigns the record the next sequence number, writes it to the
 // active segment, and returns the sequence. The record's Seq field is set
 // to the assigned value before encoding, so the log is self-describing.
 func (l *Log) Append(rec *wire.Record) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if err := l.readyLocked(); err != nil {
+		return 0, err
+	}
+	rec.Seq = l.nextSeq
+	return l.writeFramesLocked(encodeFrame(rec), 1)
+}
+
+// AppendBatch is the group-commit append: every record is assigned a
+// consecutive sequence number (in slice order) and the frames are written
+// as ONE contiguous write — and, with Options.Sync, one fsync — so a
+// whole firing wave pays a single syscall instead of one per record.
+// Rotation is checked once up front: a batch never splits across
+// segments (an oversized batch simply overfills its segment, exactly as
+// one oversized record would). Returns the first assigned sequence. The
+// write is all-or-nothing against the scan: a torn batch truncates back
+// to the last good frame, so a crash mid-batch loses the whole batch,
+// never a random middle.
+func (l *Log) AppendBatch(recs []*wire.Record) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, fmt.Errorf("outbox: empty append batch")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.readyLocked(); err != nil {
+		return 0, err
+	}
+	first := l.nextSeq
+	var buf []byte
+	for i, rec := range recs {
+		rec.Seq = first + uint64(i)
+		buf = append(buf, encodeFrame(rec)...)
+	}
+	return l.writeFramesLocked(buf, uint64(len(recs)))
+}
+
+// readyLocked rejects a closed log and rotates a full (or absent) active
+// segment.
+func (l *Log) readyLocked() error {
 	if l.closed {
-		return 0, fmt.Errorf("outbox: log is closed")
+		return fmt.Errorf("outbox: log is closed")
 	}
 	if l.seg == nil || l.segSize >= l.opts.SegmentBytes {
-		if err := l.rotateLocked(); err != nil {
-			return 0, err
-		}
+		return l.rotateLocked()
 	}
-	seq := l.nextSeq
-	rec.Seq = seq
-	payload := wire.Encode(rec)
-	frame := make([]byte, frameHeader+len(payload))
-	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
-	copy(frame[frameHeader:], payload)
-	if _, err := l.seg.Write(frame); err != nil {
+	return nil
+}
+
+// writeFramesLocked writes the already-framed buffer holding n records
+// (whose Seq fields are assigned from l.nextSeq onward) and advances the
+// sequence space, returning the first sequence.
+func (l *Log) writeFramesLocked(buf []byte, n uint64) (uint64, error) {
+	first := l.nextSeq
+	if _, err := l.seg.Write(buf); err != nil {
 		// A partial write leaves torn bytes that would hide every later
 		// frame of this segment from scan and replay. Truncate back to
 		// the last good frame; if even that fails, abandon the segment —
@@ -266,10 +344,26 @@ func (l *Log) Append(rec *wire.Record) (uint64, error) {
 			return 0, err
 		}
 	}
-	l.segSize += int64(len(frame))
-	l.nextSeq++
-	l.appended++
-	return seq, nil
+	l.segSize += int64(len(buf))
+	l.nextSeq += n
+	l.appended += int64(n)
+	l.maybeAutoCompactLocked()
+	return first, nil
+}
+
+// maybeAutoCompactLocked applies the Options.AutoCompactLag policy: when
+// the watermark has advanced far enough past the oldest segment's first
+// record, fully-acknowledged segments are reclaimed. Best-effort — an
+// unlinking error leaves the segment for the next append or a manual
+// Compact to surface.
+func (l *Log) maybeAutoCompactLocked() {
+	lag := l.opts.AutoCompactLag
+	if lag == 0 || len(l.segs) < 2 || l.acked < l.segs[0] {
+		return
+	}
+	if l.acked-l.segs[0]+1 >= lag {
+		_, _ = l.compactLocked()
+	}
 }
 
 func (l *Log) rotateLocked() error {
@@ -298,15 +392,19 @@ func (l *Log) rotateLocked() error {
 //
 // Consequence of the contiguous watermark: a record that is never
 // acknowledged (a permanently failing sink, or a delivery shed by a drop
-// policy and not yet replayed) pins the watermark below it. Later acks
+// policy and not yet replayed) pins the watermark below it — later acks
 // accumulate in memory, Compact cannot reclaim the pinned segment, and a
 // crash redelivers everything above the watermark. That is the price of
-// never losing a delivery; operators should Replay (or drop the log)
-// rather than let a poison record sit indefinitely — a dead-letter policy
-// is a ROADMAP item.
+// never losing a delivery. Options.RetryLimit bounds that price: a record
+// whose delivery keeps failing is moved to the dead-letter file by
+// NoteFailure and acknowledged, unpinning the watermark (see DeadLetters).
 func (l *Log) Ack(seq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.ackLocked(seq)
+}
+
+func (l *Log) ackLocked(seq uint64) error {
 	if seq <= l.acked {
 		return nil
 	}
@@ -314,6 +412,7 @@ func (l *Log) Ack(seq uint64) error {
 	advanced := false
 	for l.pending[l.acked+1] {
 		delete(l.pending, l.acked+1)
+		delete(l.failures, l.acked+1)
 		l.acked++
 		advanced = true
 	}
@@ -321,6 +420,79 @@ func (l *Log) Ack(seq uint64) error {
 		return nil
 	}
 	return l.writeAckLocked()
+}
+
+// NoteFailure counts one failed delivery attempt of the record against
+// its dead-letter budget (Options.RetryLimit). When the budget is
+// exhausted the record is appended to the dead-letter file and
+// acknowledged — the watermark advances past it, Compact can reclaim its
+// segment, and a restart's Replay no longer redelivers the suffix that
+// was pinned above it. DeadLetters reads the quarantined records back for
+// operator inspection or manual redrive. With RetryLimit 0 this is a
+// no-op: the record stays due forever. Failure counts are in-memory
+// (per process lifetime); a restart grants a poison record a fresh
+// budget, which at-least-once allows.
+func (l *Log) NoteFailure(rec *wire.Record) (deadLettered bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opts.RetryLimit <= 0 {
+		return false, nil
+	}
+	if rec.Seq <= l.acked || l.pending[rec.Seq] {
+		return false, nil // already delivered (or already dead-lettered)
+	}
+	n := l.failures[rec.Seq] + 1
+	if n < l.opts.RetryLimit {
+		l.failures[rec.Seq] = n
+		return false, nil
+	}
+	// Quarantine before acknowledging: a crash between the two at worst
+	// leaves the record both dead-lettered and due, and the next failing
+	// replay attempt re-quarantines it — never a silent loss.
+	if err := l.appendDeadLocked(rec); err != nil {
+		return false, err
+	}
+	delete(l.failures, rec.Seq)
+	l.dead++
+	return true, l.ackLocked(rec.Seq)
+}
+
+func (l *Log) appendDeadLocked(rec *wire.Record) error {
+	if l.deadF == nil {
+		f, err := os.OpenFile(filepath.Join(l.dir, deadFileName), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		l.deadF = f
+	}
+	if _, err := l.deadF.Write(encodeFrame(rec)); err != nil {
+		return err
+	}
+	if l.opts.Sync {
+		return l.deadF.Sync()
+	}
+	return nil
+}
+
+// DeadLetters reads back every quarantined record in dead-letter order.
+func (l *Log) DeadLetters() ([]*wire.Record, error) {
+	b, err := os.ReadFile(filepath.Join(l.dir, deadFileName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []*wire.Record
+	_, err = forEachFrame(b, func(payload []byte) error {
+		rec, err := wire.Decode(payload)
+		if err != nil {
+			return fmt.Errorf("outbox: dead-letter file: %w", err)
+		}
+		out = append(out, rec)
+		return nil
+	})
+	return out, err
 }
 
 func (l *Log) writeAckLocked() error {
@@ -361,7 +533,7 @@ func (l *Log) NextSeq() uint64 {
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return Stats{Appended: l.appended, Acked: l.acked, NextSeq: l.nextSeq, Segments: len(l.segs)}
+	return Stats{Appended: l.appended, Acked: l.acked, NextSeq: l.nextSeq, Segments: len(l.segs), DeadLetters: l.dead}
 }
 
 // Records reads back every record with seq >= from, in sequence order,
@@ -413,9 +585,13 @@ func (l *Log) visit(fn func(*wire.Record) error) error {
 // sequence order, acknowledging each one the sink accepts, and returns the
 // number delivered. Log order preserves per-trigger append order, so a
 // partition-keyed sink observes per-trigger FIFO exactly as live delivery
-// would. A sink error stops the replay at that record (everything before
-// it stays acknowledged; it and everything after remain due), so a
-// restarted consumer resumes where it failed.
+// would. A sink error counts against the record's dead-letter budget
+// (Options.RetryLimit): a record whose budget is exhausted moves to the
+// dead-letter file, the watermark advances past it, and the replay
+// CONTINUES with the suffix it was pinning. A record still within budget
+// stops the replay as before (everything before it stays acknowledged; it
+// and everything after remain due), so a restarted consumer resumes where
+// it failed — and a poison record stops it at most RetryLimit times, ever.
 func (l *Log) Replay(sink Sink) (int, error) {
 	l.mu.Lock()
 	acked := l.acked
@@ -430,6 +606,17 @@ func (l *Log) Replay(sink Sink) (int, error) {
 			return nil
 		}
 		if err := sink.Deliver(rec); err != nil {
+			dl, dlErr := l.NoteFailure(rec)
+			if dlErr != nil {
+				// The quarantine itself failed (e.g. dead.log unwritable):
+				// surface THAT, or the operator would never learn why the
+				// watermark stays pinned despite the retry budget.
+				return fmt.Errorf("outbox: replay of record %d (trigger %s): %v (dead-letter quarantine failed: %w)",
+					rec.Seq, rec.Trigger, err, dlErr)
+			}
+			if dl {
+				return nil // quarantined; the suffix above it is unpinned
+			}
 			return fmt.Errorf("outbox: replay of record %d (trigger %s): %w", rec.Seq, rec.Trigger, err)
 		}
 		delivered++
@@ -439,10 +626,16 @@ func (l *Log) Replay(sink Sink) (int, error) {
 }
 
 // Compact removes segment files whose every record is acknowledged. The
-// active segment is never removed.
+// active segment is never removed. With Options.AutoCompactLag set,
+// appends run this automatically once the watermark lags far enough
+// behind the log head.
 func (l *Log) Compact() (removed int, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.compactLocked()
+}
+
+func (l *Log) compactLocked() (removed int, err error) {
 	for len(l.segs) > 1 {
 		// The first record of the next segment bounds this segment's last.
 		if l.segs[1] > l.acked+1 {
@@ -484,6 +677,15 @@ func (l *Log) Close() error {
 			first = err
 		}
 		l.ackF = nil
+	}
+	if l.deadF != nil {
+		if err := l.deadF.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := l.deadF.Close(); err != nil && first == nil {
+			first = err
+		}
+		l.deadF = nil
 	}
 	return first
 }

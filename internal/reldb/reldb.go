@@ -76,11 +76,21 @@ type FireContext struct {
 	Inserted []Row
 	Deleted  []Row
 	Depth    int // trigger cascade depth (1 for directly fired triggers)
-	// Batch is non-nil when the firing comes from Tx.Commit: the trigger
-	// fires once for the whole transaction with the merged transition
-	// tables, and Batch carries the net per-table deltas of the entire
-	// batch (for engines that reconstruct cross-table old state).
+	// Batch is non-nil when the firing comes from Tx.Prepare/Commit: the
+	// trigger fires once for the whole transaction with the merged
+	// transition tables, and Batch carries the net per-table deltas of the
+	// entire batch (for engines that reconstruct cross-table old state).
 	Batch *BatchInfo
+	// Stage is non-nil when the firing is the staging pass of Tx.Prepare
+	// (two-phase commit). A body that performs external deliveries must
+	// route each one through Stage instead of performing it: staged
+	// deliveries run at Tx.Commit, in staging order, after every
+	// participant's prepare succeeded, so a prepare-phase error can still
+	// abort the whole transaction with nothing delivered. Evaluation work
+	// (and its errors) stays in the body; a body that ignores Stage simply
+	// runs its effects at prepare time, which is the pre-two-phase
+	// behavior.
+	Stage func(deliver func() error)
 }
 
 // NetDelta is the net change of one table over a whole transaction:
@@ -474,7 +484,7 @@ func (db *DB) Insert(table string, rows ...Row) error {
 	if len(inserted) == 0 {
 		return nil
 	}
-	return db.fire(table, EvInsert, rowsOf(inserted), nil, nil)
+	return db.fire(table, EvInsert, rowsOf(inserted), nil, nil, nil)
 }
 
 func rowsOf(krs []keyedRow) []Row {
@@ -520,7 +530,7 @@ func (db *DB) Delete(table string, pred func(Row) bool) (int, error) {
 	if len(removed) == 0 {
 		return 0, nil
 	}
-	return len(removed), db.fire(table, EvDelete, nil, rowsOf(removed), nil)
+	return len(removed), db.fire(table, EvDelete, nil, rowsOf(removed), nil, nil)
 }
 
 // applyDeleteByPK removes one row by primary key without firing triggers.
@@ -549,7 +559,7 @@ func (db *DB) DeleteByPK(table string, key ...xdm.Value) (bool, error) {
 	if err != nil || kr == nil {
 		return false, err
 	}
-	return true, db.fire(table, EvDelete, nil, []Row{kr.row}, nil)
+	return true, db.fire(table, EvDelete, nil, []Row{kr.row}, nil, nil)
 }
 
 // applyUpdate rewrites matching rows without firing triggers.
@@ -630,7 +640,7 @@ func (db *DB) Update(table string, pred func(Row) bool, set func(Row) Row) (int,
 	for i, c := range changes {
 		oldRows[i], newRows[i] = c.old, c.new
 	}
-	return len(changes), db.fire(table, EvUpdate, newRows, oldRows, nil)
+	return len(changes), db.fire(table, EvUpdate, newRows, oldRows, nil, nil)
 }
 
 // applyUpdateByPK rewrites one row by primary key without firing triggers.
@@ -672,12 +682,14 @@ func (db *DB) UpdateByPK(table string, key []xdm.Value, set func(Row) Row) (bool
 	if err != nil || c == nil {
 		return false, err
 	}
-	return true, db.fire(table, EvUpdate, []Row{c.new}, []Row{c.old}, nil)
+	return true, db.fire(table, EvUpdate, []Row{c.new}, []Row{c.old}, nil, nil)
 }
 
 // fire activates the AFTER triggers for (table, ev). The cascade guard is
-// a per-table counter (see tableData.fireDepth).
-func (db *DB) fire(table string, ev Event, inserted, deleted []Row, batch *BatchInfo) error {
+// a per-table counter (see tableData.fireDepth). stage, when non-nil,
+// makes this a staging pass: it is handed to the bodies via
+// FireContext.Stage so their deliveries defer to Tx.Commit.
+func (db *DB) fire(table string, ev Event, inserted, deleted []Row, batch *BatchInfo, stage func(func() error)) error {
 	td, err := db.table(table)
 	if err != nil {
 		return err
@@ -710,6 +722,7 @@ func (db *DB) fire(table string, ev Event, inserted, deleted []Row, batch *Batch
 			Deleted:  deleted,
 			Depth:    int(depth),
 			Batch:    batch,
+			Stage:    stage,
 		}
 		if err := tr.Body(ctx); err != nil {
 			return fmt.Errorf("reldb: trigger %s: %w", tr.Name, err)

@@ -1,0 +1,264 @@
+package reldb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"quark/internal/xdm"
+)
+
+// stagingTrigger installs a trigger whose body evaluates at prepare (one
+// eval entry per firing) and stages one delivery per transition row
+// through FireContext.Stage (one deliver entry per row when the staged
+// thunks run at Commit).
+func stagingTrigger(t *testing.T, db *DB, table string, ev Event, evals, delivers *[]string, deliverErr func(string) error) {
+	t.Helper()
+	err := db.CreateTrigger(&SQLTrigger{
+		Name: table + "_stage_" + ev.String(), Table: table, Event: ev,
+		Body: func(ctx *FireContext) error {
+			*evals = append(*evals, fmt.Sprintf("eval %s %s", ctx.Table, ctx.Event))
+			rows := ctx.Inserted
+			if ev == EvDelete {
+				rows = ctx.Deleted
+			}
+			for _, r := range rows {
+				line := fmt.Sprintf("deliver %s %s id=%d", ctx.Table, ctx.Event, r[0].AsInt())
+				deliver := func() error {
+					if deliverErr != nil {
+						if err := deliverErr(line); err != nil {
+							return err
+						}
+					}
+					*delivers = append(*delivers, line)
+					return nil
+				}
+				if ctx.Stage != nil {
+					ctx.Stage(deliver)
+					continue
+				}
+				if err := deliver(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTxPrepareStagesWithoutDelivering: Prepare runs every body (all
+// evaluation) but delivers nothing; Commit then runs exactly the staged
+// deliveries, in staging order.
+func TestTxPrepareStagesWithoutDelivering(t *testing.T) {
+	db := txTestDB(t)
+	var evals, delivers []string
+	for _, ev := range []Event{EvInsert, EvUpdate, EvDelete} {
+		stagingTrigger(t, db, "item", ev, &evals, &delivers, nil)
+	}
+	if err := db.Insert("item", Row{xdm.Int(1), xdm.Int(10)}, Row{xdm.Int(2), xdm.Int(20)}); err != nil {
+		t.Fatal(err)
+	}
+	evals, delivers = nil, nil
+
+	tx := db.Begin()
+	if err := tx.Insert("item", Row{xdm.Int(3), xdm.Int(30)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.UpdateByPK("item", []xdm.Value{xdm.Int(1)}, func(r Row) Row {
+		r[1] = xdm.Int(11)
+		return r
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.DeleteByPK("item", xdm.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 3 {
+		t.Errorf("prepare ran %d evaluations, want 3 (one per event): %v", len(evals), evals)
+	}
+	if len(delivers) != 0 {
+		t.Fatalf("prepare delivered: %v", delivers)
+	}
+	if tx.Staged() == nil {
+		t.Fatal("prepared transaction reports no staged batch")
+	}
+	// Mutations are frozen once prepared: a late write would commit
+	// without ever firing (the wave was staged from the prepare-time
+	// deltas), so it must be rejected outright.
+	if err := tx.Insert("item", Row{xdm.Int(9), xdm.Int(90)}); err == nil || !strings.Contains(err.Error(), "prepared") {
+		t.Fatalf("insert after prepare = %v, want the frozen-transaction error", err)
+	}
+	if _, ok, _ := db.GetByPK("item", xdm.Int(9)); ok {
+		t.Fatal("rejected post-prepare insert was applied")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"deliver item INSERT id=3",
+		"deliver item UPDATE id=1",
+		"deliver item DELETE id=2",
+	}
+	if strings.Join(delivers, "\n") != strings.Join(want, "\n") {
+		t.Errorf("staged deliveries = %v, want %v", delivers, want)
+	}
+}
+
+// TestTxPrepareThenRollbackLeavesNoTrace: a prepared-but-rolled-back
+// transaction delivers nothing and restores rows, indexes, and counters.
+func TestTxPrepareThenRollbackLeavesNoTrace(t *testing.T) {
+	db := txTestDB(t)
+	var evals, delivers []string
+	for _, ev := range []Event{EvInsert, EvUpdate, EvDelete} {
+		stagingTrigger(t, db, "item", ev, &evals, &delivers, nil)
+	}
+	if err := db.Insert("item", Row{xdm.Int(1), xdm.Int(10)}); err != nil {
+		t.Fatal(err)
+	}
+	evals, delivers = nil, nil
+
+	tx := db.Begin()
+	if err := tx.Insert("item", Row{xdm.Int(2), xdm.Int(20)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.UpdateByPK("item", []xdm.Value{xdm.Int(1)}, func(r Row) Row {
+		r[1] = xdm.Int(99)
+		return r
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if len(delivers) != 0 {
+		t.Fatalf("rolled-back prepared transaction delivered: %v", delivers)
+	}
+	if n := db.RowCount("item"); n != 1 {
+		t.Fatalf("row count after rollback = %d, want 1", n)
+	}
+	r, ok, _ := db.GetByPK("item", xdm.Int(1))
+	if !ok || r[1].AsInt() != 10 {
+		t.Fatalf("row 1 after rollback = %v (ok=%v), want qty=10", r, ok)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit after rollback must fail")
+	}
+}
+
+// TestTxPrepareErrorIsSticky: a body error during Prepare surfaces, the
+// transaction stays open for Rollback, re-preparing reports the same
+// error, and nothing was delivered.
+func TestTxPrepareErrorIsSticky(t *testing.T) {
+	db := txTestDB(t)
+	boom := fmt.Errorf("boom")
+	err := db.CreateTrigger(&SQLTrigger{
+		Name: "item_boom", Table: "item", Event: EvInsert,
+		Body: func(*FireContext) error { return boom },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if err := tx.Insert("item", Row{xdm.Int(1), xdm.Int(10)}); err != nil {
+		t.Fatal(err)
+	}
+	err = tx.Prepare()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("prepare error = %v, want boom", err)
+	}
+	if err2 := tx.Prepare(); err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("re-prepare error = %v, want the sticky %v", err2, err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatalf("rollback after failed prepare: %v", err)
+	}
+	if n := db.RowCount("item"); n != 0 {
+		t.Fatalf("row count after rollback = %d, want 0", n)
+	}
+}
+
+// TestTxCommitDeliveryErrorKeepsState: a staged delivery error aborts the
+// remaining deliveries but the applied mutations stand (AFTER-trigger
+// semantics carried into phase two).
+func TestTxCommitDeliveryErrorKeepsState(t *testing.T) {
+	db := txTestDB(t)
+	var evals, delivers []string
+	boom := fmt.Errorf("boom")
+	stagingTrigger(t, db, "item", EvInsert, &evals, &delivers, func(line string) error {
+		if strings.Contains(line, "id=2") {
+			return boom
+		}
+		return nil
+	})
+	tx := db.Begin()
+	if err := tx.Insert("item", Row{xdm.Int(1), xdm.Int(10)}, Row{xdm.Int(2), xdm.Int(20)}, Row{xdm.Int(3), xdm.Int(30)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	err := tx.Commit()
+	if err != boom {
+		t.Fatalf("commit error = %v, want boom", err)
+	}
+	// Delivery 1 ran, 2 failed, 3 never ran; all three rows stand.
+	if len(delivers) != 1 || !strings.Contains(delivers[0], "id=1") {
+		t.Errorf("deliveries before the error = %v, want exactly id=1", delivers)
+	}
+	if n := db.RowCount("item"); n != 3 {
+		t.Errorf("row count after delivery error = %d, want 3", n)
+	}
+	if err := tx.Rollback(); err == nil {
+		t.Error("rollback after commit must fail")
+	}
+}
+
+// TestTxOneShotCommitUnchanged: Commit without an explicit Prepare keeps
+// the historical contract — bodies that ignore Stage run their effects
+// inline, and a body error finishes the transaction with data applied.
+func TestTxOneShotCommitUnchanged(t *testing.T) {
+	db := txTestDB(t)
+	var log []firing
+	recordFirings(t, db, "item", &log)
+	tx := db.Begin()
+	if err := tx.Insert("item", Row{xdm.Int(1), xdm.Int(10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 1 || log[0].event != EvInsert || !log[0].batch {
+		t.Fatalf("one-shot commit firings = %+v", log)
+	}
+
+	boom := fmt.Errorf("boom")
+	if err := db.CreateTrigger(&SQLTrigger{
+		Name: "item_boom", Table: "item", Event: EvInsert,
+		Body: func(*FireContext) error { return boom },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx = db.Begin()
+	if err := tx.Insert("item", Row{xdm.Int(2), xdm.Int(20)}); err != nil {
+		t.Fatal(err)
+	}
+	err := tx.Commit()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("one-shot commit error = %v, want boom", err)
+	}
+	if n := db.RowCount("item"); n != 2 {
+		t.Errorf("row count after one-shot firing error = %d, want 2 (data applied)", n)
+	}
+	if err := tx.Rollback(); err == nil {
+		t.Error("rollback after one-shot commit must fail (transaction finished)")
+	}
+}

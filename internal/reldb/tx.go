@@ -52,6 +52,16 @@ type Tx struct {
 	// attempt (observable through key-ordered transition tables).
 	autoIDs map[string]int64
 	done    bool
+
+	// Two-phase state: Prepare runs the firing waves in staging mode,
+	// collecting the delivery thunks (in activation order) that Commit
+	// later runs; batch is the staged wave's BatchInfo. prepErr is sticky —
+	// a transaction whose prepare failed can only be rolled back or
+	// re-report the same error.
+	prepared bool
+	prepErr  error
+	staged   []func() error
+	batch    *BatchInfo
 }
 
 // Begin starts a batched transaction.
@@ -147,10 +157,17 @@ func (tx *Tx) check() error {
 }
 
 // checkTable combines the finished check with the declared-footprint
-// restriction; every mutation entry point calls it before applying.
+// restriction; every mutation entry point calls it before applying. A
+// prepared transaction's mutations are frozen: the staged firing wave
+// was computed from the net deltas at Prepare, so a later mutation would
+// commit silently without ever firing — exactly the transactionality
+// hole the two-phase split exists to close.
 func (tx *Tx) checkTable(table string) error {
 	if err := tx.check(); err != nil {
 		return err
+	}
+	if tx.prepared || tx.prepErr != nil {
+		return fmt.Errorf("reldb: transaction is prepared; mutations are frozen until commit or rollback")
 	}
 	if tx.allowed != nil && !tx.allowed[table] {
 		return fmt.Errorf("reldb: transaction is restricted to its declared tables; %q is not declared", table)
@@ -340,17 +357,35 @@ func (tx *Tx) net(table string) netChange {
 	return nc
 }
 
-// Commit fires the deferred triggers: for every touched table (in name
-// order) each of INSERT, UPDATE, DELETE fires at most once with the merged
-// transition tables, and every FireContext carries the transaction-wide
-// net deltas so trigger bodies can reconstruct the pre-transaction state
-// of all touched tables. Trigger errors abort the firing wave but the
-// data changes remain applied (AFTER-trigger semantics).
-func (tx *Tx) Commit() error {
+// Prepare runs the prepare phase of a two-phase commit: it computes the
+// merged net deltas and runs every deferred firing wave in staging mode —
+// trigger bodies evaluate their plans (all evaluation errors surface
+// here) and stage their deliveries through FireContext.Stage instead of
+// performing them. A successful Prepare leaves the transaction open: the
+// caller either Commits (run the staged deliveries) or Rollbacks (undo
+// every mutation; nothing was delivered). A failed Prepare is sticky —
+// the transaction can only be rolled back, and a coordinator that
+// prepared other participants can still roll all of them back, which is
+// what closes the cross-shard partial-commit window. Prepare on an
+// already-prepared transaction is a no-op.
+func (tx *Tx) Prepare() error {
 	if err := tx.check(); err != nil {
 		return err
 	}
-	tx.done = true
+	if tx.prepErr != nil {
+		return tx.prepErr
+	}
+	if tx.prepared {
+		return nil
+	}
+	if err := tx.prepare(); err != nil {
+		tx.prepErr = err
+		return err
+	}
+	return nil
+}
+
+func (tx *Tx) prepare() error {
 	tables := append([]string(nil), tx.order...)
 	sort.Strings(tables)
 	batch := &BatchInfo{Seq: tx.db.batchSeq.Add(1), Deltas: map[string]*NetDelta{}}
@@ -366,32 +401,80 @@ func (tx *Tx) Commit() error {
 		nd.Deleted = append(append(nd.Deleted, nc.del...), nc.updOld...)
 		batch.Deltas[t] = nd
 	}
+	tx.batch = batch
+	stage := func(deliver func() error) {
+		tx.staged = append(tx.staged, deliver)
+	}
 	for _, t := range tables {
 		nc, ok := nets[t]
 		if !ok {
 			continue
 		}
 		if len(nc.ins) > 0 {
-			if err := tx.db.fire(t, EvInsert, nc.ins, nil, batch); err != nil {
+			if err := tx.db.fire(t, EvInsert, nc.ins, nil, batch, stage); err != nil {
 				return err
 			}
 		}
 		if len(nc.updNew) > 0 {
-			if err := tx.db.fire(t, EvUpdate, nc.updNew, nc.updOld, batch); err != nil {
+			if err := tx.db.fire(t, EvUpdate, nc.updNew, nc.updOld, batch, stage); err != nil {
 				return err
 			}
 		}
 		if len(nc.del) > 0 {
-			if err := tx.db.fire(t, EvDelete, nil, nc.del, batch); err != nil {
+			if err := tx.db.fire(t, EvDelete, nil, nc.del, batch, stage); err != nil {
 				return err
 			}
+		}
+	}
+	tx.prepared = true
+	return nil
+}
+
+// Staged returns the BatchInfo of the staged firing wave (nil until a
+// successful Prepare). Coordinators use it to inspect what a prepared
+// transaction is about to deliver before deciding to commit.
+func (tx *Tx) Staged() *BatchInfo {
+	if !tx.prepared {
+		return nil
+	}
+	return tx.batch
+}
+
+// Commit finishes the transaction. On an unprepared transaction it is the
+// one-shot Prepare+Commit convenience with the historical contract: for
+// every touched table (in name order) each of INSERT, UPDATE, DELETE
+// fires at most once with the merged transition tables, every
+// FireContext carries the transaction-wide net deltas, and trigger errors
+// abort the wave while the data changes remain applied (AFTER-trigger
+// semantics). On a prepared transaction it runs the staged deliveries in
+// staging order; trigger evaluation already happened at Prepare, so the
+// only errors left are delivery errors — which likewise leave the
+// applied state standing.
+func (tx *Tx) Commit() error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	if !tx.prepared {
+		if err := tx.Prepare(); err != nil {
+			// One-shot contract: a firing error finishes the transaction
+			// with its mutations applied (no implicit rollback).
+			tx.done = true
+			return err
+		}
+	}
+	tx.done = true
+	for _, deliver := range tx.staged {
+		if err := deliver(); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
 // Rollback undoes every change the transaction applied, restoring rows and
-// indexes to their pre-transaction state. No triggers fire.
+// indexes to their pre-transaction state. No triggers fire. Rolling back
+// a prepared transaction discards its staged deliveries — staging has no
+// external effect, which is what makes the prepare phase abortable.
 func (tx *Tx) Rollback() error {
 	if err := tx.check(); err != nil {
 		return err

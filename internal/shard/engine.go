@@ -466,11 +466,14 @@ func (e *Engine) DeleteByPK(table string, key ...xdm.Value) (bool, error) {
 // that shard's merged net deltas, and commits run in shard order. If fn
 // returns an error every shard rolls back and the directory is untouched.
 //
-// Commit is not two-phase: a trigger action error during shard k's commit
-// leaves shards < k committed (their data and firings stand, matching
-// AFTER-trigger semantics) while shards >= k roll back — the same
-// contract a failed multi-statement script has against independent
-// stores.
+// Commit is two-phase: every shard prepares first (condition evaluation
+// and invocation staging — any error rolls ALL shards back and discards
+// the directory overlay, leaving the fleet byte-identical to its
+// pre-transaction state), and only when every prepare succeeded do the
+// shards commit and deliver. A delivery error during phase 2 surfaces to
+// the caller but every shard's data still commits and the directory
+// folds completely — the same contract a single engine's AFTER-trigger
+// error has, never a half-committed fleet.
 func (e *Engine) Batch(fn func(*Tx) error) error {
 	return e.runTxTables(nil, fn)
 }

@@ -246,29 +246,27 @@ func (r *Router) hashKey(s string) int {
 
 // dirOps is the uncommitted directory overlay of one distributed
 // transaction: lookups consult it before the committed directory, and
-// commit folds it in atomically (rollback discards it). Every entry
-// carries the shard whose data change it mirrors, so a partial commit
-// (shard k's commit failing after shards < k committed) can fold exactly
-// the entries whose shards actually applied.
+// commit folds it in atomically once every shard's prepare succeeded
+// (an aborted transaction discards it untouched — under the two-phase
+// protocol the directory either folds completely or not at all).
 type dirOps struct {
 	set map[string]int
-	del map[string]int // key -> shard the row was removed from
+	del map[string]struct{}
 }
 
-func newDirOps() *dirOps { return &dirOps{set: map[string]int{}, del: map[string]int{}} }
+func newDirOps() *dirOps { return &dirOps{set: map[string]int{}, del: map[string]struct{}{}} }
 
 // record notes a row's (new) owner. An existing del entry for the same
 // key is kept: a same-PK cross-shard migration is del on one shard AND
-// set on another, and a partial commit must be able to fold each side by
-// its own shard (lookup and full folds check set before del, so the set
-// wins whenever both shards applied).
+// set on another, and the fold applies deletes before sets, so the set
+// side wins.
 func (o *dirOps) record(key string, shard int) {
 	o.set[key] = shard
 }
 
-func (o *dirOps) remove(key string, shard int) {
+func (o *dirOps) remove(key string) {
 	delete(o.set, key)
-	o.del[key] = shard
+	o.del[key] = struct{}{}
 }
 
 // lookup finds a row's recorded shard, overlay first.
@@ -342,22 +340,17 @@ func (r *Router) rekey(table, oldKey, newKey string, shard int) {
 	r.mu.Unlock()
 }
 
-// commit folds a transaction's overlay into the committed directory.
-// committed filters to the shards whose data commit actually applied
-// (nil = all): on a partial commit the directory then stays consistent
-// with the rows that exist, rather than silently losing the committed
-// shards' entries.
-func (r *Router) commit(ov *dirOps, committed func(shard int) bool) {
+// commit folds a transaction's overlay into the committed directory,
+// deletes first so a migration's set side lands last. Under the
+// two-phase protocol it is only called after every shard committed its
+// data, so the fold is always total; an aborted transaction never folds.
+func (r *Router) commit(ov *dirOps) {
 	r.mu.Lock()
-	for k, s := range ov.del {
-		if committed == nil || committed(s) {
-			delete(r.dir, k)
-		}
+	for k := range ov.del {
+		delete(r.dir, k)
 	}
 	for k, s := range ov.set {
-		if committed == nil || committed(s) {
-			r.dir[k] = s
-		}
+		r.dir[k] = s
 	}
 	r.mu.Unlock()
 }
@@ -389,4 +382,18 @@ func (r *Router) DirSize() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.dir)
+}
+
+// DirSnapshot returns a copy of the routing directory, keyed by
+// table + "\x00" + primary-key tuple key. Tests and consistency checkers
+// use it to prove an aborted transaction left the directory untouched and
+// that every entry agrees with the shard actually holding the row.
+func (r *Router) DirSnapshot() map[string]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int, len(r.dir))
+	for k, s := range r.dir {
+		out[k] = s
+	}
+	return out
 }

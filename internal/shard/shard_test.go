@@ -404,10 +404,11 @@ func TestMultiShardInsertAtomicity(t *testing.T) {
 	}
 }
 
-// TestDirOpsPartialFold: a same-PK cross-shard migration carries BOTH its
-// delete side (old shard) and set side (new shard) in the overlay, so a
-// partial commit folds exactly the sides whose shards applied.
-func TestDirOpsPartialFold(t *testing.T) {
+// TestDirOpsTotalFold: a same-PK cross-shard migration carries BOTH its
+// delete side (old shard) and set side (new shard) in the overlay; the
+// two-phase protocol folds the overlay totally — deletes before sets, so
+// the set side wins — or not at all (an aborted transaction discards it).
+func TestDirOpsTotalFold(t *testing.T) {
 	newRouterWithEntry := func() *Router {
 		r := &Router{n: 4, dir: map[string]int{}}
 		r.dir[dirKey("product", "k")] = 0
@@ -415,29 +416,30 @@ func TestDirOpsPartialFold(t *testing.T) {
 	}
 	overlay := func() *dirOps {
 		ov := newDirOps()
-		ov.remove(dirKey("product", "k"), 0) // delete on old shard 0
+		ov.remove(dirKey("product", "k"))    // delete on old shard 0
 		ov.record(dirKey("product", "k"), 2) // insert on new shard 2
 		return ov
 	}
 	// Full commit: the set side wins; the row lives on shard 2.
 	r := newRouterWithEntry()
-	r.commit(overlay(), nil)
+	r.commit(overlay())
 	if s, ok := r.lookup("product", "k", nil); !ok || s != 2 {
 		t.Errorf("full fold: owner = %d ok=%v, want 2", s, ok)
 	}
-	// Only shard 0 applied (delete committed, insert rolled back): the
-	// entry must drop — the row exists nowhere.
+	// A pure delete (no re-insert) drops the entry.
 	r = newRouterWithEntry()
-	r.commit(overlay(), func(s int) bool { return s == 0 })
+	ovDel := newDirOps()
+	ovDel.remove(dirKey("product", "k"))
+	r.commit(ovDel)
 	if _, ok := r.lookup("product", "k", nil); ok {
-		t.Error("delete-only fold left a directory entry for a vanished row")
+		t.Error("delete fold left a directory entry for a vanished row")
 	}
-	// Only shard 2 applied (duplicate data divergence): the directory
-	// points at the committed copy.
+	// An aborted transaction never folds: discarding the overlay leaves
+	// the directory byte-identical.
 	r = newRouterWithEntry()
-	r.commit(overlay(), func(s int) bool { return s == 2 })
-	if s, ok := r.lookup("product", "k", nil); !ok || s != 2 {
-		t.Errorf("insert-only fold: owner = %d ok=%v, want 2", s, ok)
+	_ = overlay() // built, then dropped on abort
+	if s, ok := r.lookup("product", "k", nil); !ok || s != 0 {
+		t.Errorf("aborted overlay mutated the directory: owner = %d ok=%v, want 0", s, ok)
 	}
 	// In-tx lookup while both sides are pending sees the set side.
 	ov := overlay()

@@ -88,7 +88,7 @@ func (tx *Tx) updateRow(rt *route, owner int, cur reldb.Row, set func(reldb.Row)
 		changed, err := tx.hs[owner].Tx().UpdateByPK(rt.def.Name, pkVals(rt, cur), set)
 		if err == nil && changed {
 			if nk := pkKeyOf(rt, next); nk != oldKey {
-				tx.ov.remove(dirKey(rt.def.Name, oldKey), owner)
+				tx.ov.remove(dirKey(rt.def.Name, oldKey))
 				tx.ov.record(dirKey(rt.def.Name, nk), owner)
 			}
 		}
@@ -160,7 +160,7 @@ func (tx *Tx) Delete(table string, pred func(reldb.Row) bool) (int, error) {
 		}
 		n += removed
 		for _, k := range keys {
-			tx.ov.remove(dirKey(table, k), si)
+			tx.ov.remove(dirKey(table, k))
 		}
 	}
 	return n, nil
@@ -178,7 +178,7 @@ func (tx *Tx) DeleteByPK(table string, key ...xdm.Value) (bool, error) {
 	}
 	removed, err := tx.hs[owner].Tx().DeleteByPK(table, key...)
 	if err == nil && removed {
-		tx.ov.remove(dirKey(table, pk), owner)
+		tx.ov.remove(dirKey(table, pk))
 	}
 	return removed, err
 }
@@ -261,40 +261,43 @@ func (tx *Tx) migrate(from, to int, rt *route, oldRow, newRow reldb.Row) error {
 		}
 		oldK := dirKey(nd.rt.def.Name, pkKeyOf(nd.rt, nd.row))
 		newK := dirKey(nd.rt.def.Name, pkKeyOf(nd.rt, nd.ins))
-		// Record BOTH sides, even when the key is unchanged: remove's del
-		// entry carries the old shard's committed delete through a partial
-		// commit fold, and record's set entry wins whenever the new shard
-		// also applied (see dirOps.record).
-		tx.ov.remove(oldK, from)
+		// Record BOTH sides, even when the key is unchanged: the fold
+		// applies deletes before sets, so the set entry wins for a same-PK
+		// migration (see dirOps.record).
+		tx.ov.remove(oldK)
 		tx.ov.record(newK, to)
 	}
 	return nil
 }
 
-// commit commits every shard in shard order, then folds the directory
-// overlay in. See Engine.Batch for the non-two-phase failure contract:
-// on a mid-fleet commit failure the overlay entries of the shards that
-// DID commit are still folded, so the directory stays consistent with
-// the rows that actually exist (a migration whose delete side rolled
-// back can leave a stale duplicate on the old shard — the directory then
-// points at the committed copy).
+// commit drives the two-phase protocol. Phase 1 prepares every shard in
+// shard order: FK/PK checks already passed at mutation time, each shard
+// computes its merged net deltas, evaluates its trigger conditions, and
+// stages the resulting invocation set — nothing is delivered. Any prepare
+// error rolls EVERY shard back and discards the directory overlay, so a
+// mid-fleet failure leaves fleet and directory byte-identical to their
+// pre-transaction state (the partial-commit window the non-two-phase
+// protocol had is closed). Phase 2 commits every shard: the staged
+// deliveries run in shard order, each shard's in log order. A delivery
+// error in phase 2 can no longer unwind state anywhere — the remaining
+// shards still commit (their data and the single-engine AFTER-trigger
+// contract both demand it), the full overlay folds, and the first error
+// surfaces to the caller.
 func (tx *Tx) commit() error {
 	for si, h := range tx.hs {
-		if err := h.Commit(); err != nil {
-			// Shards before si are committed, and shard si's own data
-			// also stands (reldb AFTER-trigger contract: a firing error
-			// aborts the wave, not the applied changes). Roll the rest
-			// back so no shard is left locked, and fold exactly the
-			// applied shards' directory changes.
-			for _, rest := range tx.hs[si+1:] {
-				_ = rest.Rollback()
-			}
-			tx.e.router.commit(tx.ov, func(s int) bool { return s <= si })
-			return fmt.Errorf("shard %d commit: %w", si, err)
+		if err := h.Prepare(); err != nil {
+			tx.rollback()
+			return fmt.Errorf("shard %d prepare: %w", si, err)
 		}
 	}
-	tx.e.router.commit(tx.ov, nil)
-	return nil
+	var firstErr error
+	for si, h := range tx.hs {
+		if err := h.Commit(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d commit: %w", si, err)
+		}
+	}
+	tx.e.router.commit(tx.ov)
+	return firstErr
 }
 
 // rollback rolls every shard back and discards the directory overlay.
