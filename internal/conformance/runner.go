@@ -61,6 +61,13 @@ type RunOpts struct {
 	// must STILL come out byte-identical to the single-engine goldens —
 	// the sharding subsystem's observational-equivalence claim.
 	Shards int
+	// Rebalance forces one routing-group migration before every unit of a
+	// sharded run (the first group in sorted order moves one shard over),
+	// so every scenario replays with data movement interleaved mid-stream.
+	// The log must STILL come out byte-identical to the single-engine
+	// goldens: rebalancing is silent data movement, never trigger activity.
+	// Ignored on single-engine runs.
+	Rebalance bool
 	// AbortFirst attempts every batched begin..commit block TWICE: first
 	// with a prepare-phase failure armed on the engine (every shard of a
 	// sharded run) — the attempt must error, deliver nothing, and leave no
@@ -90,6 +97,9 @@ type runEngine interface {
 	// failure on every underlying engine (the AbortFirst injection seam).
 	armPrepareFail(err error)
 	disarmPrepareFail()
+	// rehearseRebalance forces one routing-group migration (the Rebalance
+	// style's injection seam); a no-op on the single engine.
+	rehearseRebalance() error
 }
 
 // coreRun adapts one core.Engine (initial data loads straight into the
@@ -132,7 +142,8 @@ func (r coreRun) Batch(fn func(stmtWriter) error) error {
 func (r coreRun) armPrepareFail(err error) {
 	r.e.SetPrepareCheck(func([]core.Invocation) error { return err })
 }
-func (r coreRun) disarmPrepareFail() { r.e.SetPrepareCheck(nil) }
+func (r coreRun) disarmPrepareFail()       { r.e.SetPrepareCheck(nil) }
+func (r coreRun) rehearseRebalance() error { return nil }
 
 // shardRun adapts a sharded engine; initial data routes through the
 // shard layer so the directory knows every row.
@@ -174,6 +185,25 @@ func (r shardRun) disarmPrepareFail() {
 	for i := 0; i < r.e.NumShards(); i++ {
 		r.e.Shard(i).SetPrepareCheck(nil)
 	}
+}
+
+// rehearseRebalance moves the first routing group (sorted order) one
+// shard over — a forced silent migration whose invisibility every golden
+// comparison then proves.
+func (r shardRun) rehearseRebalance() error {
+	n := r.e.NumShards()
+	if n < 2 {
+		return nil
+	}
+	groups := r.e.Groups()
+	if len(groups) == 0 {
+		return nil
+	}
+	g := groups[0]
+	_, err := r.e.Rebalance(shard.Plan{Moves: []shard.GroupMove{
+		{Table: g.Table, Key: g.Key, To: (g.Shard + 1) % n},
+	}})
+	return err
 }
 
 // RunStyle executes the scenario's script in the given translation mode
@@ -286,6 +316,13 @@ func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
 
 	i := 0
 	for i < len(sc.Script) {
+		if opts.Rebalance {
+			// One forced migration before every unit: the unit's own log
+			// then proves the movement left no observable trace.
+			if err := e.rehearseRebalance(); err != nil {
+				return "", fmt.Errorf("rebalance rehearsal: %w", err)
+			}
+		}
 		st := sc.Script[i]
 		if st.Kind != StBegin {
 			if err := sc.execStmt(e, st); err != nil {

@@ -49,6 +49,43 @@ func TestGoldenSharded(t *testing.T) {
 	}
 }
 
+// TestGoldenShardedRebalance is the rebalance dress rehearsal: every
+// scenario replays on N in {2, 4} shards with one forced routing-group
+// migration injected before every unit, in both execution styles, and
+// the notification log must STILL be byte-identical to the committed
+// single-engine goldens — rebalancing is silent data movement, so a
+// stream with migrations interleaved is indistinguishable from one
+// without.
+func TestGoldenShardedRebalance(t *testing.T) {
+	for _, path := range scenarioFiles(t) {
+		name := scenarioName(path)
+		t.Run(name, func(t *testing.T) {
+			sc, err := ParseFile(path, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", name+".golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []int{2, 4} {
+				single, err := RunStyle(sc, core.ModeMaterialized, RunOpts{Shards: n, Rebalance: true})
+				if err != nil {
+					t.Fatalf("shards=%d single: %v", n, err)
+				}
+				batched, err := RunStyle(sc, core.ModeMaterialized, RunOpts{Shards: n, Batched: true, Rebalance: true})
+				if err != nil {
+					t.Fatalf("shards=%d batched: %v", n, err)
+				}
+				got := "== single ==\n" + single + "== batched ==\n" + batched
+				if got != string(want) {
+					t.Errorf("shards=%d with rebalances diverges from single-engine golden:\n%s", n, diffText(string(want), got))
+				}
+			}
+		})
+	}
+}
+
 // TestShardedDifferential requires every translation mode on the sharded
 // engine to reproduce the single-engine oracle's log, across shard
 // counts, both execution styles, and the async + replayed-outbox delivery

@@ -784,6 +784,11 @@ func (e *Engine) obAppendBatch(ob *outboxState, recs []*wire.Record) (uint64, er
 // commit's group-commit wave; otherwise each delivery stages its own
 // thunk, preserving activation order either way.
 func (e *Engine) stageOrDeliver(ctx *reldb.FireContext, fnName string, inv Invocation) error {
+	if ctx != nil && ctx.Batch != nil && ctx.Batch.Silent {
+		// Defense in depth: no activation of a silent wave may ever reach a
+		// sink, whatever body produced it.
+		return nil
+	}
 	if ctx == nil || ctx.Stage == nil {
 		return e.deliver(fnName, inv)
 	}
@@ -1326,6 +1331,13 @@ func (e *Engine) compileArgs(g *group, ti *TriggerInfo, layout Layout) ([]xqgm.E
 // touched several tables; the per-commit activation set dedups those.
 func (e *Engine) fire(g *group, plan *installedPlan, ctx *reldb.FireContext) error {
 	if ctx.Batch != nil {
+		if ctx.Batch.Silent {
+			// A silent data movement (shard rebalancing): the deltas are
+			// placement artifacts, not logical changes. Translated plans are
+			// stateless across firings, so skipping the evaluation outright
+			// stages nothing and leaves nothing stale.
+			return nil
+		}
 		return e.fireBatch(g, plan, ctx)
 	}
 	e.fires.Add(1)
@@ -1632,6 +1644,17 @@ func (e *Engine) BeginBatch() (*BatchHandle, error) {
 
 // Tx returns the handle's transaction for applying mutations.
 func (h *BatchHandle) Tx() *reldb.Tx { return h.tx }
+
+// SetSilent marks the handle's transaction as a silent data movement
+// (see reldb.Tx.SetSilent): prepare still computes net deltas and lets
+// stateful trigger bodies refresh themselves (a materialized view's diff
+// baseline), but no trigger activates and nothing is staged or
+// delivered. The sharded engine's rebalancer sets it on the donor and
+// recipient handles of a group migration — physically moved rows are not
+// logical data changes. Must be called before Prepare.
+func (h *BatchHandle) SetSilent() error {
+	return h.tx.SetSilent()
+}
 
 // Engine returns the engine the handle belongs to.
 func (h *BatchHandle) Engine() *Engine { return h.e }

@@ -78,6 +78,13 @@ func (e *Engine) buildMaterialized(g *group) error {
 		} else {
 			defer func() { state.rows = after }()
 		}
+		if ctx.Batch != nil && ctx.Batch.Silent {
+			// Silent data movement (shard rebalancing): the snapshot must
+			// refresh — this shard gained or lost whole view elements — but
+			// the change is placement, not data, so nothing is diffed and
+			// nothing delivered.
+			return nil
+		}
 		before := state.rows
 
 		type pair struct {

@@ -15,6 +15,7 @@
 //	seg-<first-seq>.log   length+CRC framed wire records, rotated by size
 //	ack                   8-byte little-endian acknowledged watermark
 //	dead.log              dead-lettered records (same framing), see Options.RetryLimit
+//	failures              per-record delivery-failure budgets (one CRC frame)
 //
 // Crash tolerance: Open scans segments, validates every frame's CRC, and
 // truncates a torn tail (a record half-written when the process died), so
@@ -47,7 +48,9 @@ type Options struct {
 	// extends them to power loss at a large throughput cost.
 	Sync bool
 	// RetryLimit bounds a record's delivery failures (live attempts and
-	// replay attempts both count, within one process lifetime): once a
+	// replay attempts both count; counts persist across restarts in the
+	// failures file, so the budget is exact even for a crash-looping
+	// consumer): once a
 	// record has failed RetryLimit times, NoteFailure moves it to the
 	// dead-letter file and acknowledges it, so one poison record can no
 	// longer pin the watermark — later acks stop accumulating in memory,
@@ -69,7 +72,7 @@ type Stats struct {
 	Acked       uint64 // acknowledged watermark (every seq <= Acked is done)
 	NextSeq     uint64 // sequence the next append will receive
 	Segments    int    // segment files on disk
-	DeadLetters int64  // records moved to the dead-letter file (lifetime of the directory)
+	DeadLetters int64  // records currently quarantined in the dead-letter file
 }
 
 const (
@@ -77,6 +80,7 @@ const (
 	segSuffix    = ".log"
 	ackFileName  = "ack"
 	deadFileName = "dead.log"
+	failFileName = "failures"
 	frameHeader  = 8 // u32 payload length + u32 CRC32 (little-endian)
 )
 
@@ -113,6 +117,9 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l := &Log{dir: dir, opts: opts, nextSeq: 1, pending: map[uint64]bool{}, failures: map[uint64]int{}}
 	if err := l.loadAck(); err != nil {
+		return nil, err
+	}
+	if err := l.loadFailures(); err != nil {
 		return nil, err
 	}
 	if err := l.scanSegments(); err != nil {
@@ -232,6 +239,26 @@ func forEachFrame(b []byte, fn func(payload []byte) error) (validBytes int64, er
 	return int64(off), nil
 }
 
+// Frame renders one length+CRC frame around an arbitrary payload — the
+// log's segment framing, exported so sibling persistence files can share
+// one tested format (the shard router's directory checkpoint + delta log
+// live beside the outbox; Open ignores any file that is not seg-*.log).
+func Frame(payload []byte) []byte {
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	return frame
+}
+
+// ScanFrames walks the valid frames of b in order, stopping at the first
+// torn or corrupt frame, and returns the byte offset just past the last
+// valid frame — the truncation point for torn-tail recovery. It is the
+// exported face of the log's own frame decoder.
+func ScanFrames(b []byte, fn func(payload []byte) error) (validBytes int64, err error) {
+	return forEachFrame(b, fn)
+}
+
 // scanSegmentFile counts the valid frames of one segment and returns the
 // byte offset just past the last valid frame.
 func scanSegmentFile(path string) (records uint64, validBytes int64, err error) {
@@ -259,12 +286,7 @@ func truncateTo(path string, size int64) error {
 
 // encodeFrame renders one record's length+CRC frame.
 func encodeFrame(rec *wire.Record) []byte {
-	payload := wire.Encode(rec)
-	frame := make([]byte, frameHeader+len(payload))
-	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
-	copy(frame[frameHeader:], payload)
-	return frame
+	return Frame(wire.Encode(rec))
 }
 
 // Append assigns the record the next sequence number, writes it to the
@@ -428,10 +450,11 @@ func (l *Log) ackLocked(seq uint64) error {
 // acknowledged — the watermark advances past it, Compact can reclaim its
 // segment, and a restart's Replay no longer redelivers the suffix that
 // was pinned above it. DeadLetters reads the quarantined records back for
-// operator inspection or manual redrive. With RetryLimit 0 this is a
-// no-op: the record stays due forever. Failure counts are in-memory
-// (per process lifetime); a restart grants a poison record a fresh
-// budget, which at-least-once allows.
+// operator inspection; Redrive re-delivers them. With RetryLimit 0 this
+// is a no-op: the record stays due forever. Failure counts are persisted
+// beside the ack file on every update, so RetryLimit is exact across
+// crashes — a poison record's budget resumes where it left off instead of
+// resetting on restart.
 func (l *Log) NoteFailure(rec *wire.Record) (deadLettered bool, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -444,7 +467,7 @@ func (l *Log) NoteFailure(rec *wire.Record) (deadLettered bool, err error) {
 	n := l.failures[rec.Seq] + 1
 	if n < l.opts.RetryLimit {
 		l.failures[rec.Seq] = n
-		return false, nil
+		return false, l.persistFailuresLocked()
 	}
 	// Quarantine before acknowledging: a crash between the two at worst
 	// leaves the record both dead-lettered and due, and the next failing
@@ -454,7 +477,72 @@ func (l *Log) NoteFailure(rec *wire.Record) (deadLettered bool, err error) {
 	}
 	delete(l.failures, rec.Seq)
 	l.dead++
+	if err := l.persistFailuresLocked(); err != nil {
+		return true, err
+	}
 	return true, l.ackLocked(rec.Seq)
+}
+
+// persistFailuresLocked rewrites the failure-count file atomically
+// (write-tmp-then-rename): one CRC frame holding (seq, count) pairs. An
+// empty map removes the file. A torn or corrupt file is treated as absent
+// at Open — budgets reset, which at-least-once allows; the common crash
+// (between a failure and the next) preserves counts exactly.
+func (l *Log) persistFailuresLocked() error {
+	path := filepath.Join(l.dir, failFileName)
+	if len(l.failures) == 0 {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		return nil
+	}
+	seqs := make([]uint64, 0, len(l.failures))
+	for s := range l.failures {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	payload := binary.AppendUvarint(nil, uint64(len(seqs)))
+	for _, s := range seqs {
+		payload = binary.AppendUvarint(payload, s)
+		payload = binary.AppendUvarint(payload, uint64(l.failures[s]))
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, Frame(payload), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadFailures restores the persisted per-record failure budgets, dropping
+// entries at or below the ack watermark (their records are done).
+func (l *Log) loadFailures() error {
+	b, err := os.ReadFile(filepath.Join(l.dir, failFileName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	_, _ = ScanFrames(b, func(payload []byte) error {
+		n, off := binary.Uvarint(payload)
+		for i := uint64(0); i < n; i++ {
+			seq, m := binary.Uvarint(payload[off:])
+			if m <= 0 {
+				break
+			}
+			off += m
+			cnt, m2 := binary.Uvarint(payload[off:])
+			if m2 <= 0 {
+				break
+			}
+			off += m2
+			if seq > l.acked {
+				l.failures[seq] = int(cnt)
+			}
+		}
+		return nil
+	})
+	return nil
 }
 
 func (l *Log) appendDeadLocked(rec *wire.Record) error {
@@ -493,6 +581,84 @@ func (l *Log) DeadLetters() ([]*wire.Record, error) {
 		return nil
 	})
 	return out, err
+}
+
+// Redrive re-delivers the quarantined records through sink in dead-letter
+// order, completing the operator loop that DeadLetters starts. Each
+// accepted record is removed from dead.log and its failure budget reset;
+// a sink error stops the redrive at the failing record, which stays
+// quarantined (with the suffix behind it) for the next attempt. On full
+// success dead.log is truncated away. The rewrite is atomic
+// (write-tmp-then-rename), so a kill during Redrive leaves either the old
+// quarantine set or the pruned one — re-delivering a record twice at
+// worst, the at-least-once contract.
+func (l *Log) Redrive(sink Sink) (redelivered int, err error) {
+	if sink == nil {
+		return 0, fmt.Errorf("outbox: Redrive requires a sink")
+	}
+	recs, err := l.DeadLetters()
+	if err != nil {
+		return 0, err
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	var sinkErr error
+	for _, rec := range recs {
+		if derr := sink.Deliver(rec); derr != nil {
+			sinkErr = fmt.Errorf("outbox: redrive of record %d (trigger %s): %w", rec.Seq, rec.Trigger, derr)
+			break
+		}
+		redelivered++
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Keep the undelivered suffix plus anything quarantined since the
+	// snapshot was read (NoteFailure appends under the lock we now hold).
+	keep := append([]*wire.Record(nil), recs[redelivered:]...)
+	if all, rerr := l.DeadLetters(); rerr == nil && len(all) > len(recs) {
+		keep = append(keep, all[len(recs):]...)
+	}
+	for _, rec := range recs[:redelivered] {
+		delete(l.failures, rec.Seq)
+	}
+	if perr := l.persistFailuresLocked(); perr != nil && sinkErr == nil {
+		sinkErr = perr
+	}
+	if werr := l.rewriteDeadLocked(keep); werr != nil && sinkErr == nil {
+		sinkErr = werr
+	}
+	return redelivered, sinkErr
+}
+
+// rewriteDeadLocked replaces dead.log's contents with the given records
+// (removing the file when none remain) via an atomic rename.
+func (l *Log) rewriteDeadLocked(keep []*wire.Record) error {
+	if l.deadF != nil {
+		_ = l.deadF.Close()
+		l.deadF = nil
+	}
+	path := filepath.Join(l.dir, deadFileName)
+	if len(keep) == 0 {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		l.dead = 0
+		return nil
+	}
+	var buf []byte
+	for _, rec := range keep {
+		buf = append(buf, encodeFrame(rec)...)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	l.dead = int64(len(keep))
+	return nil
 }
 
 func (l *Log) writeAckLocked() error {

@@ -1,0 +1,249 @@
+package outbox
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"quark/internal/wire"
+)
+
+// seqSink records delivered sequences and fails any listed in refuse.
+type seqSink struct {
+	delivered []uint64
+	refuse    map[uint64]bool
+}
+
+func (s *seqSink) Deliver(r *wire.Record) error {
+	if s.refuse[r.Seq] {
+		return fmt.Errorf("refused %d", r.Seq)
+	}
+	s.delivered = append(s.delivered, r.Seq)
+	return nil
+}
+
+// quarantine appends n poison records plus one good one and replays with
+// RetryLimit 1 so every poison record dead-letters immediately. Returns
+// the log (open) and the poison sequences in log order.
+func quarantine(t *testing.T, dir string, n int) (*Log, []uint64) {
+	t.Helper()
+	l, err := Open(dir, Options{RetryLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	for i := 1; i <= n; i++ {
+		seq, err := l.Append(rec("poison", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	if _, err := l.Append(rec("ok", n+1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Replay(&poisonSink{poison: "poison"}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if got := l.Acked(); got != uint64(n+1) {
+		t.Fatalf("watermark = %d, want %d (all poison dead-lettered)", got, n+1)
+	}
+	return l, seqs
+}
+
+// TestRedriveDeliversInOrder: Redrive re-delivers every quarantined record
+// in dead-letter order and empties the quarantine on full success.
+func TestRedriveDeliversInOrder(t *testing.T) {
+	l, seqs := quarantine(t, t.TempDir(), 3)
+	defer l.Close()
+	sink := &seqSink{}
+	n, err := l.Redrive(sink)
+	if err != nil {
+		t.Fatalf("redrive: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("redelivered %d, want 3", n)
+	}
+	for i, seq := range seqs {
+		if sink.delivered[i] != seq {
+			t.Fatalf("redrive order = %v, want %v", sink.delivered, seqs)
+		}
+	}
+	dead, err := l.DeadLetters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 0 {
+		t.Fatalf("quarantine not emptied: %+v", dead)
+	}
+	if st := l.Stats(); st.DeadLetters != 0 {
+		t.Errorf("Stats.DeadLetters = %d, want 0", st.DeadLetters)
+	}
+	if _, err := os.Stat(filepath.Join(l.Dir(), deadFileName)); !os.IsNotExist(err) {
+		t.Errorf("dead.log still present after full redrive")
+	}
+}
+
+// TestRedriveKillAndRestart is the acceptance scenario: a redrive that
+// stops partway prunes exactly the delivered prefix, the process dies,
+// and the restarted log still holds — and can redrive — the undelivered
+// suffix.
+func TestRedriveKillAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	l, seqs := quarantine(t, dir, 3)
+	// The sink accepts the first record and refuses the second: the
+	// redrive stops there, keeping records 2 and 3 quarantined.
+	sink := &seqSink{refuse: map[uint64]bool{seqs[1]: true}}
+	n, err := l.Redrive(sink)
+	if err == nil {
+		t.Fatal("partial redrive must surface the sink error")
+	}
+	if n != 1 {
+		t.Fatalf("partial redrive delivered %d, want 1", n)
+	}
+	if err := l.Close(); err != nil { // crash after the partial redrive
+		t.Fatal(err)
+	}
+
+	l, err = Open(dir, Options{RetryLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, err := l.DeadLetters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 2 || dead[0].Seq != seqs[1] || dead[1].Seq != seqs[2] {
+		t.Fatalf("restarted quarantine = %+v, want records %v", dead, seqs[1:])
+	}
+	fresh := &seqSink{}
+	n, err = l.Redrive(fresh)
+	if err != nil {
+		t.Fatalf("post-restart redrive: %v", err)
+	}
+	if n != 2 || fresh.delivered[0] != seqs[1] || fresh.delivered[1] != seqs[2] {
+		t.Fatalf("post-restart redrive delivered %v, want %v", fresh.delivered, seqs[1:])
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third incarnation: the quarantine stayed empty across the restart.
+	l, err = Open(dir, Options{RetryLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if dead, _ := l.DeadLetters(); len(dead) != 0 {
+		t.Fatalf("quarantine resurrected after clean redrive: %+v", dead)
+	}
+	if st := l.Stats(); st.DeadLetters != 0 {
+		t.Errorf("Stats.DeadLetters = %d, want 0", st.DeadLetters)
+	}
+}
+
+// TestFailureBudgetSurvivesCrash: RetryLimit is exact across restarts —
+// two failed attempts, a crash, and one more attempt dead-letter a
+// RetryLimit=3 record; the budget does not reset to zero on reopen.
+func TestFailureBudgetSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{RetryLimit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(rec("poison", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(rec("ok", 2)); err != nil {
+		t.Fatal(err)
+	}
+	sink := &poisonSink{poison: "poison"}
+	for attempt := 1; attempt <= 2; attempt++ {
+		if _, err := l.Replay(sink); err == nil {
+			t.Fatalf("attempt %d: expected the poison record to stop the pass", attempt)
+		}
+	}
+	if sink.failures != 2 {
+		t.Fatalf("pre-crash attempts = %d, want 2", sink.failures)
+	}
+	if err := l.Close(); err != nil { // crash with 2 of 3 budget spent
+		t.Fatal(err)
+	}
+
+	l, err = Open(dir, Options{RetryLimit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fresh := &poisonSink{poison: "poison"}
+	n, err := l.Replay(fresh)
+	if err != nil {
+		t.Fatalf("post-crash replay: %v", err)
+	}
+	if fresh.failures != 1 {
+		t.Fatalf("post-crash attempts = %d, want exactly 1 (budget persisted, not reset)", fresh.failures)
+	}
+	if n != 1 { // record 2 delivers once the poison record dead-letters
+		t.Errorf("post-crash replay delivered %d, want 1", n)
+	}
+	if got := l.Acked(); got != 2 {
+		t.Errorf("watermark = %d, want 2", got)
+	}
+	dead, err := l.DeadLetters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 1 || dead[0].Seq != 1 {
+		t.Fatalf("dead letters = %+v, want record 1", dead)
+	}
+	// The spent budget is released once the record is quarantined.
+	if _, err := os.Stat(filepath.Join(dir, failFileName)); !os.IsNotExist(err) {
+		t.Errorf("failure-budget file lingers after quarantine")
+	}
+}
+
+// TestFailureBudgetTornFile: a torn budget file is treated as absent at
+// Open — budgets reset (allowed by at-least-once), the log still opens.
+func TestFailureBudgetTornFile(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{RetryLimit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(rec("poison", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Replay(&poisonSink{poison: "poison"}); err == nil {
+		t.Fatal("expected replay to fail")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, failFileName)
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, b[:len(b)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Options{RetryLimit: 3})
+	if err != nil {
+		t.Fatalf("open over torn budget file: %v", err)
+	}
+	defer l.Close()
+	// The budget reset: the record gets a full 3 attempts again.
+	sink := &poisonSink{poison: "poison"}
+	for attempt := 1; attempt <= 2; attempt++ {
+		if _, err := l.Replay(sink); err == nil {
+			t.Fatalf("attempt %d: pass should still stop (budget reset to 0)", attempt)
+		}
+	}
+	if _, err := l.Replay(sink); err != nil {
+		t.Fatalf("third attempt should dead-letter: %v", err)
+	}
+	if sink.failures != 3 {
+		t.Errorf("post-reset attempts = %d, want 3", sink.failures)
+	}
+}

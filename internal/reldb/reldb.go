@@ -108,6 +108,13 @@ type NetDelta struct {
 type BatchInfo struct {
 	Seq    int64
 	Deltas map[string]*NetDelta
+	// Silent marks a data-movement transaction (Tx.SetSilent) whose firing
+	// wave must not produce observable trigger activity: bodies may refresh
+	// internal state (a materialized view's diff baseline) but must not
+	// activate triggers or deliver actions. Shard rebalancing uses it — the
+	// donor's deletes and recipient's inserts are physical placement
+	// artifacts, not logical data changes.
+	Silent bool
 	// EngineState is scratch storage for the trigger-translation layer:
 	// every firing wave of one commit shares this BatchInfo and runs on
 	// the committing goroutine, so per-commit state cached here (e.g.

@@ -62,6 +62,20 @@ type Tx struct {
 	prepErr  error
 	staged   []func() error
 	batch    *BatchInfo
+	silent   bool
+}
+
+// SetSilent marks the transaction as a silent data movement: its firing
+// wave carries BatchInfo.Silent, telling trigger bodies to refresh any
+// internal state (e.g. a materialized view's diff baseline) without
+// activating triggers or staging deliveries. Must be called before
+// Prepare; the flag cannot be cleared.
+func (tx *Tx) SetSilent() error {
+	if tx.prepared || tx.done {
+		return fmt.Errorf("reldb: SetSilent after prepare")
+	}
+	tx.silent = true
+	return nil
 }
 
 // Begin starts a batched transaction.
@@ -388,7 +402,7 @@ func (tx *Tx) Prepare() error {
 func (tx *Tx) prepare() error {
 	tables := append([]string(nil), tx.order...)
 	sort.Strings(tables)
-	batch := &BatchInfo{Seq: tx.db.batchSeq.Add(1), Deltas: map[string]*NetDelta{}}
+	batch := &BatchInfo{Seq: tx.db.batchSeq.Add(1), Deltas: map[string]*NetDelta{}, Silent: tx.silent}
 	nets := make(map[string]netChange, len(tables))
 	for _, t := range tables {
 		nc := tx.net(t)

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"sync"
 
 	"quark/internal/core"
 	"quark/internal/dispatch"
@@ -21,6 +22,14 @@ type Config struct {
 	// Routing overrides per-table routing rules (see TableRouting); tables
 	// without an entry default to child-via-first-FK or root-by-PK.
 	Routing []TableRouting
+	// Dir, when set, persists the routing directory (checkpoint +
+	// append-only delta log, see DirStore) under this path. It may be the
+	// outbox's directory: the outbox ignores files that are not seg-*.log.
+	// Reopening an engine over an existing Dir adopts the persisted
+	// directory and group assignments — the caller then reloads the base
+	// data (parents before children), and every row lands back on the
+	// shard it occupied before the restart, including rebalanced groups.
+	Dir string
 }
 
 // Engine mirrors the core Engine API over N embedded engines, one per
@@ -37,13 +46,44 @@ type Config struct {
 // so log order is a global per-trigger order and a replay reproduces the
 // fleet's deliveries exactly.
 type Engine struct {
-	router  *Router
+	router *Router
+	schema *schema.Schema
+	mode   core.Mode
+
+	// topo guards the fleet slices, which Grow/Shrink replace wholesale
+	// (readers snapshot them; an old snapshot stays valid because the
+	// backing arrays are never mutated in place).
+	topo    sync.RWMutex
 	engines []*core.Engine
 	dbs     []*reldb.DB
-	mode    core.Mode
 
-	d  *dispatch.Dispatcher
-	ob *outbox.Log
+	d         *dispatch.Dispatcher
+	ob        *outbox.Log
+	obSink    outbox.Sink
+	obStripes *core.DeliveryStripes
+
+	// Registered actions, views, and triggers are retained (in
+	// registration order) so Grow can replay them onto appended shards.
+	regMu     sync.Mutex
+	actions   []namedAction
+	views     []namedView
+	trigSpecs []*trigger.Spec
+
+	store *DirStore // nil: in-memory directory only
+
+	// rebalanceBarrier, when set, runs between a rebalance transaction's
+	// prepare-all and commit-all phases (the kill-mid-rebalance tests'
+	// seam; see SetRebalanceBarrier).
+	rebalanceBarrier func()
+}
+
+type namedAction struct {
+	name string
+	fn   core.ActionFunc
+}
+
+type namedView struct {
+	name, src string
 }
 
 // Stats reports fleet-wide counters plus the per-shard breakdown.
@@ -62,6 +102,9 @@ type Stats struct {
 
 // New builds a sharded engine: cfg.Shards embedded engines over fresh
 // stores of the same schema, and a router resolved from cfg.Routing.
+// With cfg.Dir set, the persisted routing directory is adopted (see
+// Config.Dir); the persisted shard count, when present, must match
+// cfg.Shards.
 func New(s *schema.Schema, cfg Config) (*Engine, error) {
 	n := cfg.Shards
 	if n <= 0 {
@@ -71,7 +114,38 @@ func New(s *schema.Schema, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{router: router, mode: cfg.Mode}
+	e := &Engine{router: router, schema: s, mode: cfg.Mode}
+	if cfg.Dir != "" {
+		store, st, err := OpenDirStore(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if st.Shards != 0 && st.Shards != n {
+			_ = store.Close()
+			return nil, fmt.Errorf("shard: persisted directory has %d shards, config asks for %d", st.Shards, n)
+		}
+		for k, si := range st.Dir {
+			if si < 0 || si >= n {
+				_ = store.Close()
+				return nil, fmt.Errorf("shard: persisted directory entry %q references shard %d of %d", k, si, n)
+			}
+		}
+		for k, si := range st.Assign {
+			if si < 0 || si >= n {
+				_ = store.Close()
+				return nil, fmt.Errorf("shard: persisted group assignment %q references shard %d of %d", k, si, n)
+			}
+		}
+		router.adopt(st.Dir, st.Assign)
+		router.attachStore(store)
+		e.store = store
+		// Re-checkpoint immediately: the persisted state now includes the
+		// shard count even for a fresh directory, and the delta log resets
+		// to empty for this process's run.
+		if err := store.Checkpoint(router.state()); err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < n; i++ {
 		db, err := reldb.Open(s)
 		if err != nil {
@@ -83,11 +157,26 @@ func New(s *schema.Schema, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// fleet snapshots the engine and store slices under the topology lock.
+// Grow/Shrink replace the slices wholesale, so a snapshot stays
+// internally consistent for the duration of one statement.
+func (e *Engine) fleet() ([]*core.Engine, []*reldb.DB) {
+	e.topo.RLock()
+	defer e.topo.RUnlock()
+	return e.engines, e.dbs
+}
+
 // NumShards returns the shard count.
-func (e *Engine) NumShards() int { return len(e.engines) }
+func (e *Engine) NumShards() int {
+	engines, _ := e.fleet()
+	return len(engines)
+}
 
 // Shard returns the i-th embedded engine (inspection and tests).
-func (e *Engine) Shard(i int) *core.Engine { return e.engines[i] }
+func (e *Engine) Shard(i int) *core.Engine {
+	engines, _ := e.fleet()
+	return engines[i]
+}
 
 // Router returns the engine's router.
 func (e *Engine) Router() *Router { return e.router }
@@ -101,20 +190,30 @@ func (e *Engine) OwnerOf(table string, key ...xdm.Value) (int, bool) {
 	return e.router.lookup(table, xdm.TupleKey(key), nil)
 }
 
-// RegisterAction installs an action function on every shard.
+// RegisterAction installs an action function on every shard (current and
+// future: Grow replays registrations onto appended shards).
 func (e *Engine) RegisterAction(name string, fn core.ActionFunc) {
-	for _, ce := range e.engines {
+	engines, _ := e.fleet()
+	for _, ce := range engines {
 		ce.RegisterAction(name, fn)
 	}
+	e.regMu.Lock()
+	e.actions = append(e.actions, namedAction{name, fn})
+	e.regMu.Unlock()
 }
 
-// CreateView compiles and registers the view on every shard.
+// CreateView compiles and registers the view on every shard (current and
+// future).
 func (e *Engine) CreateView(name, src string) error {
-	for _, ce := range e.engines {
+	engines, _ := e.fleet()
+	for _, ce := range engines {
 		if _, err := ce.CreateView(name, src); err != nil {
 			return err
 		}
 	}
+	e.regMu.Lock()
+	e.views = append(e.views, namedView{name, src})
+	e.regMu.Unlock()
 	return nil
 }
 
@@ -132,14 +231,18 @@ func (e *Engine) CreateTrigger(src string) error {
 
 // CreateTriggerSpec registers a pre-parsed trigger on every shard.
 func (e *Engine) CreateTriggerSpec(spec *trigger.Spec) error {
-	for i, ce := range e.engines {
+	engines, _ := e.fleet()
+	for i, ce := range engines {
 		if err := ce.CreateTriggerSpec(spec); err != nil {
 			for j := 0; j < i; j++ {
-				_ = e.engines[j].DropTrigger(spec.Name)
+				_ = engines[j].DropTrigger(spec.Name)
 			}
 			return err
 		}
 	}
+	e.regMu.Lock()
+	e.trigSpecs = append(e.trigSpecs, spec)
+	e.regMu.Unlock()
 	return nil
 }
 
@@ -147,17 +250,27 @@ func (e *Engine) CreateTriggerSpec(spec *trigger.Spec) error {
 // delivery lane via the per-shard drop path).
 func (e *Engine) DropTrigger(name string) error {
 	var first error
-	for _, ce := range e.engines {
+	engines, _ := e.fleet()
+	for _, ce := range engines {
 		if err := ce.DropTrigger(name); err != nil && first == nil {
 			first = err
 		}
 	}
+	e.regMu.Lock()
+	for i, sp := range e.trigSpecs {
+		if sp.Name == name {
+			e.trigSpecs = append(e.trigSpecs[:i], e.trigSpecs[i+1:]...)
+			break
+		}
+	}
+	e.regMu.Unlock()
 	return first
 }
 
 // Flush builds and installs the translated SQL triggers on every shard.
 func (e *Engine) Flush() error {
-	for _, ce := range e.engines {
+	engines, _ := e.fleet()
+	for _, ce := range engines {
 		if err := ce.Flush(); err != nil {
 			return err
 		}
@@ -177,13 +290,14 @@ func (e *Engine) EnableAsyncDispatch(cfg dispatch.Config) error {
 	// shard i>0 after attaching shards < i would leave a half-async
 	// fleet, and closing the shared pool under the attached shards would
 	// turn their next delivery into an ErrClosed statement error.
-	for i, ce := range e.engines {
+	engines, _ := e.fleet()
+	for i, ce := range engines {
 		if ce.AsyncDispatch() {
 			return fmt.Errorf("shard: shard %d already has async dispatch enabled", i)
 		}
 	}
 	d := dispatch.New(cfg)
-	for _, ce := range e.engines {
+	for _, ce := range engines {
 		if err := ce.AttachSharedDispatcher(d); err != nil {
 			_ = d.Close()
 			return err
@@ -206,18 +320,21 @@ func (e *Engine) EnableOutbox(lg *outbox.Log, sink outbox.Sink) error {
 	// Precheck before enabling anything (see EnableAsyncDispatch): a
 	// mid-fleet failure would leave a half-durable fleet with no way to
 	// retry.
-	for i, ce := range e.engines {
+	engines, _ := e.fleet()
+	for i, ce := range engines {
 		if ce.OutboxEnabled() {
 			return fmt.Errorf("shard: shard %d already has an outbox enabled", i)
 		}
 	}
 	stripes := core.NewDeliveryStripes()
-	for _, ce := range e.engines {
+	for _, ce := range engines {
 		if err := ce.EnableOutboxShared(lg, sink, stripes); err != nil {
 			return err
 		}
 	}
 	e.ob = lg
+	e.obSink = sink
+	e.obStripes = stripes
 	return nil
 }
 
@@ -233,7 +350,8 @@ func (e *Engine) Drain() {
 // stops it. Idempotent; safe on a synchronous engine.
 func (e *Engine) Close() error {
 	var first error
-	for _, ce := range e.engines {
+	engines, _ := e.fleet()
+	for _, ce := range engines {
 		if err := ce.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -244,13 +362,20 @@ func (e *Engine) Close() error {
 		}
 		e.d = nil
 	}
+	if e.store != nil {
+		if err := e.store.Close(); err != nil && first == nil {
+			first = err
+		}
+		e.store = nil
+	}
 	return first
 }
 
 // Stats returns fleet counters with the per-shard breakdown.
 func (e *Engine) Stats() Stats {
-	st := Stats{Shards: len(e.engines), DirEntries: e.router.DirSize()}
-	for _, ce := range e.engines {
+	engines, _ := e.fleet()
+	st := Stats{Shards: len(engines), DirEntries: e.router.DirSize()}
+	for _, ce := range engines {
 		s := ce.Stats()
 		st.PerShard = append(st.PerShard, s)
 		st.Fires += s.Fires
@@ -288,6 +413,7 @@ func (e *Engine) Insert(table string, rows ...reldb.Row) error {
 	if err != nil {
 		return err
 	}
+	engines, _ := e.fleet()
 	groups := make(map[int][]reldb.Row)
 	keys := make(map[int][]string)
 	seen := make(map[string]bool, len(rows))
@@ -295,7 +421,7 @@ func (e *Engine) Insert(table string, rows ...reldb.Row) error {
 		if len(row) != len(rt.def.Columns) {
 			// Let an engine produce the canonical arity error (under its
 			// table lock; validation fails before anything is applied).
-			return e.engines[0].Insert(table, row)
+			return engines[0].Insert(table, row)
 		}
 		k := pkKeyOf(rt, row)
 		o := e.router.ownerForRowRt(rt, row, nil)
@@ -317,15 +443,18 @@ func (e *Engine) Insert(table string, rows ...reldb.Row) error {
 			return tx.Insert(table, rows...)
 		})
 	}
-	for si := range e.engines {
+	for si := range engines {
 		g := groups[si]
 		if len(g) == 0 {
 			continue
 		}
-		err := e.engines[si].Insert(table, g...)
+		err := engines[si].Insert(table, g...)
 		if err == nil {
-			for _, k := range keys[si] {
+			for ri, k := range keys[si] {
 				e.router.record(table, k, si)
+				if rt.parent == "" {
+					e.router.recordAssign(groupKeyOf(rt, g[ri]), si)
+				}
 			}
 			continue
 		}
@@ -334,8 +463,11 @@ func (e *Engine) Insert(table string, rows ...reldb.Row) error {
 		// semantics). Reconcile the directory with what actually exists so
 		// the rows stay addressable, exactly as on a single engine.
 		for ri, k := range keys[si] {
-			if _, found, _ := e.engines[si].GetByPK(table, pkVals(rt, g[ri])...); found {
+			if _, found, _ := engines[si].GetByPK(table, pkVals(rt, g[ri])...); found {
 				e.router.record(table, k, si)
+				if rt.parent == "" {
+					e.router.recordAssign(groupKeyOf(rt, g[ri]), si)
+				}
 			}
 		}
 		return err
@@ -354,12 +486,13 @@ func (e *Engine) UpdateByPK(table string, key []xdm.Value, set func(reldb.Row) r
 	if err != nil {
 		return false, err
 	}
+	engines, _ := e.fleet()
 	pk := xdm.TupleKey(key)
 	owner, ok := e.router.lookup(table, pk, nil)
 	if !ok {
 		return false, nil
 	}
-	cur, found, err := e.engines[owner].GetByPK(table, key...)
+	cur, found, err := engines[owner].GetByPK(table, key...)
 	if err != nil {
 		return false, err
 	}
@@ -369,7 +502,7 @@ func (e *Engine) UpdateByPK(table string, key []xdm.Value, set func(reldb.Row) r
 	next := set(cur.Copy())
 	if len(next) != len(rt.def.Columns) {
 		// Malformed post-image: let the owning engine produce the error.
-		return e.engines[owner].UpdateByPK(table, key, set)
+		return engines[owner].UpdateByPK(table, key, set)
 	}
 	newOwner := e.router.ownerForRowRt(rt, next, nil)
 	if nk := pkKeyOf(rt, next); nk != pk {
@@ -380,17 +513,23 @@ func (e *Engine) UpdateByPK(table string, key []xdm.Value, set func(reldb.Row) r
 		}
 	}
 	if newOwner == owner {
-		changed, err := e.engines[owner].UpdateByPK(table, key, set)
-		if nk := pkKeyOf(rt, next); nk != pk {
-			if err == nil && changed {
+		changed, err := engines[owner].UpdateByPK(table, key, set)
+		applied := changed && err == nil
+		if err != nil {
+			// A firing error leaves the applied update in place
+			// (AFTER-trigger semantics); reconcile the directory with
+			// the store so a PK-moved row stays addressable.
+			_, applied, _ = engines[owner].GetByPK(table, pkVals(rt, next)...)
+		}
+		if applied {
+			if nk := pkKeyOf(rt, next); nk != pk {
 				e.router.rekey(table, pk, nk, owner)
-			} else if err != nil {
-				// A firing error leaves the applied update in place
-				// (AFTER-trigger semantics); reconcile the directory with
-				// the store so a PK-moved row stays addressable.
-				if _, found, _ := e.engines[owner].GetByPK(table, pkVals(rt, next)...); found {
-					e.router.rekey(table, pk, nk, owner)
-				}
+			}
+			if rt.parent == "" {
+				// The routing tuple may have changed to a group that happens
+				// to stay on this shard; pin the new group here so a later
+				// modulus change never splits it from its rows.
+				e.router.recordAssign(groupKeyOf(rt, next), owner)
 			}
 		}
 		return changed, err
@@ -443,17 +582,18 @@ func (e *Engine) DeleteByPK(table string, key ...xdm.Value) (bool, error) {
 	if _, err := e.router.route(table); err != nil {
 		return false, err
 	}
+	engines, _ := e.fleet()
 	pk := xdm.TupleKey(key)
 	owner, ok := e.router.lookup(table, pk, nil)
 	if !ok {
 		return false, nil
 	}
-	removed, err := e.engines[owner].DeleteByPK(table, key...)
+	removed, err := engines[owner].DeleteByPK(table, key...)
 	if err == nil && removed {
 		e.router.forget(table, pk)
 	} else if err != nil {
 		// A firing error leaves the applied delete in place; reconcile.
-		if _, found, _ := e.engines[owner].GetByPK(table, key...); !found {
+		if _, found, _ := engines[owner].GetByPK(table, key...); !found {
 			e.router.forget(table, pk)
 		}
 	}
@@ -508,8 +648,9 @@ func (e *Engine) runTxTables(tables []string, fn func(*Tx) error) error {
 // distributed transactions deadlock-free against each other and against
 // single-shard statements.
 func (e *Engine) beginAll(tables []string) (*Tx, error) {
-	tx := &Tx{e: e, ov: newDirOps()}
-	for _, ce := range e.engines {
+	engines, dbs := e.fleet()
+	tx := &Tx{e: e, dbs: dbs, ov: newDirOps()}
+	for _, ce := range engines {
 		var h *core.BatchHandle
 		var err error
 		if tables == nil {

@@ -63,6 +63,8 @@ package shard
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"quark/internal/schema"
@@ -103,13 +105,22 @@ type childRef struct {
 }
 
 // Router owns the partitioning function: static per-table routing rules
-// plus the dynamic (table, primary key) -> shard directory.
+// plus two pieces of dynamic state — the (table, primary key) -> shard
+// directory, and the sticky (root table, routing tuple) -> shard group
+// assignment. The hash of a root's routing columns only SEEDS a new
+// group's placement; once placed, the group's assignment is authoritative
+// until a Rebalance moves it. That decoupling is what makes the shard
+// count elastic: changing the placement modulus (Grow/Shrink) never
+// implicitly moves an existing group, and a rebalanced group never
+// "snaps back" to its hash slot on its next write.
 type Router struct {
-	n      int
 	routes map[string]*route
 
-	mu  sync.RWMutex
-	dir map[string]int // table + "\x00" + pk tuple-key -> shard
+	mu     sync.RWMutex
+	n      int            // placement modulus (changes under Grow/Shrink)
+	dir    map[string]int // table + "\x00" + pk tuple-key -> shard
+	assign map[string]int // root table + "\x00" + routing tuple-key -> shard
+	store  *DirStore      // nil: in-memory only; else every change appends a delta
 }
 
 // NewRouter resolves the routing rules for every table of the schema.
@@ -126,7 +137,7 @@ func NewRouter(s *schema.Schema, n int, overrides []TableRouting) (*Router, erro
 	for _, o := range overrides {
 		ov[o.Table] = o
 	}
-	r := &Router{n: n, routes: map[string]*route{}, dir: map[string]int{}}
+	r := &Router{n: n, routes: map[string]*route{}, dir: map[string]int{}, assign: map[string]int{}}
 	for _, t := range s.Tables() {
 		if len(t.PrimaryKey) == 0 {
 			return nil, fmt.Errorf("shard: table %q has no primary key; sharding routes rows by key", t.Name)
@@ -213,8 +224,22 @@ func sameStrings(a, b []string) bool {
 	return true
 }
 
-// Shards returns the shard count.
-func (r *Router) Shards() int { return r.n }
+// Shards returns the placement modulus (the live shard count).
+func (r *Router) Shards() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}
+
+// setShards changes the placement modulus. Existing groups keep their
+// sticky assignments — only NEW groups hash against the new count — so
+// the flip is safe while data is still mid-migration.
+func (r *Router) setShards(n int) {
+	r.mu.Lock()
+	r.n = n
+	r.appendDeltaLocked([]DirOp{{Op: OpShards, Shard: n}})
+	r.mu.Unlock()
+}
 
 func (r *Router) route(table string) (*route, error) {
 	rt, ok := r.routes[table]
@@ -235,13 +260,31 @@ func pkKeyOf(rt *route, row []xdm.Value) string {
 
 func dirKey(table, pkKey string) string { return table + "\x00" + pkKey }
 
+// groupKeyOf renders a root-table row's routing-group key: the table name
+// plus the tuple key of its routing-column values. It is the assignment
+// map's key and the Key a rebalance Plan names a group by.
+func groupKeyOf(rt *route, row []xdm.Value) string {
+	ks := make([]xdm.Value, len(rt.byIdx))
+	for i, c := range rt.byIdx {
+		ks[i] = row[c]
+	}
+	return dirKey(rt.def.Name, xdm.TupleKey(ks))
+}
+
 // hashKey maps a canonical key string to a shard.
 func (r *Router) hashKey(s string) int {
+	r.mu.RLock()
+	n := r.n
+	r.mu.RUnlock()
+	return hashMod(s, n)
+}
+
+func hashMod(s string, n int) int {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {
 		h = (h ^ uint64(s[i])) * 1099511628211 // FNV-1a 64
 	}
-	return int(h % uint64(r.n))
+	return int(h % uint64(n))
 }
 
 // dirOps is the uncommitted directory overlay of one distributed
@@ -252,9 +295,14 @@ func (r *Router) hashKey(s string) int {
 type dirOps struct {
 	set map[string]int
 	del map[string]struct{}
+	// aset records group assignments the transaction places or moves
+	// (sticky placement of new groups, destination of a rebalance).
+	aset map[string]int
 }
 
-func newDirOps() *dirOps { return &dirOps{set: map[string]int{}, del: map[string]struct{}{}} }
+func newDirOps() *dirOps {
+	return &dirOps{set: map[string]int{}, del: map[string]struct{}{}, aset: map[string]int{}}
+}
 
 // record notes a row's (new) owner. An existing del entry for the same
 // key is kept: a same-PK cross-shard migration is del on one shard AND
@@ -267,6 +315,11 @@ func (o *dirOps) record(key string, shard int) {
 func (o *dirOps) remove(key string) {
 	delete(o.set, key)
 	o.del[key] = struct{}{}
+}
+
+// assign records a routing group's (new) placement in the overlay.
+func (o *dirOps) assign(groupKey string, shard int) {
+	o.aset[groupKey] = shard
 }
 
 // lookup finds a row's recorded shard, overlay first.
@@ -287,10 +340,12 @@ func (r *Router) lookup(table, pkKey string, ov *dirOps) (int, bool) {
 }
 
 // ownerForRow computes which shard owns the given (post-image) row: root
-// tables hash their routing columns; child tables resolve the referenced
-// parent through the directory, falling back to the hash of the
-// foreign-key value when the parent is unknown (deterministic orphan
-// placement — insert parents before children to co-locate).
+// tables place by sticky group assignment (hash of the routing columns
+// only seeds a NEW group); child tables resolve the referenced parent
+// through the directory, falling back to the parent group's placement
+// when the parent row is unknown (deterministic orphan placement that
+// still co-locates with the parent once it arrives — insert parents
+// before children to co-locate through the directory proper).
 func (r *Router) ownerForRow(table string, row []xdm.Value, ov *dirOps) (int, error) {
 	rt, err := r.route(table)
 	if err != nil {
@@ -301,11 +356,7 @@ func (r *Router) ownerForRow(table string, row []xdm.Value, ov *dirOps) (int, er
 
 func (r *Router) ownerForRowRt(rt *route, row []xdm.Value, ov *dirOps) int {
 	if rt.parent == "" {
-		ks := make([]xdm.Value, len(rt.byIdx))
-		for i, c := range rt.byIdx {
-			ks[i] = row[c]
-		}
-		return r.hashKey(xdm.TupleKey(ks))
+		return r.placeGroup(groupKeyOf(rt, row), ov)
 	}
 	ks := make([]xdm.Value, len(rt.fkIdx))
 	for i, c := range rt.fkIdx {
@@ -315,13 +366,88 @@ func (r *Router) ownerForRowRt(rt *route, row []xdm.Value, ov *dirOps) int {
 	if s, ok := r.lookup(rt.parent, parentKey, ov); ok {
 		return s
 	}
+	// Orphan fallback: place where the parent itself would. When the
+	// parent is a root routed by its primary key, the FK value IS its
+	// routing tuple, so the orphan follows the parent group's sticky
+	// assignment (or its hash seed) and parent + orphan converge on one
+	// shard even across rebalances.
+	if prt, ok := r.routes[rt.parent]; ok && prt.parent == "" && sameInts(prt.byIdx, prt.pkIdx) {
+		return r.placeGroup(dirKey(rt.parent, parentKey), ov)
+	}
 	return r.hashKey(parentKey)
+}
+
+// placeGroup resolves a routing group's shard: overlay assignment, then
+// the committed assignment, then — for a brand-new group — the hash of
+// the routing tuple (the part of the group key after the table prefix,
+// matching the pre-elastic placement function exactly).
+func (r *Router) placeGroup(groupKey string, ov *dirOps) int {
+	if ov != nil {
+		if s, ok := ov.aset[groupKey]; ok {
+			return s
+		}
+	}
+	r.mu.RLock()
+	s, ok := r.assign[groupKey]
+	n := r.n
+	r.mu.RUnlock()
+	if ok {
+		return s
+	}
+	seed := groupKey
+	if i := strings.IndexByte(groupKey, 0); i >= 0 {
+		seed = groupKey[i+1:]
+	}
+	return hashMod(seed, n)
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // record installs a committed row's owner.
 func (r *Router) record(table, pkKey string, shard int) {
 	r.mu.Lock()
 	r.dir[dirKey(table, pkKey)] = shard
+	r.appendDeltaLocked([]DirOp{{Op: OpSet, Key: dirKey(table, pkKey), Shard: shard}})
+	r.mu.Unlock()
+}
+
+// recordAssign installs a committed group assignment, skipping the write
+// (and its delta frame) when the placement is already recorded.
+func (r *Router) recordAssign(groupKey string, shard int) {
+	r.mu.Lock()
+	if s, ok := r.assign[groupKey]; !ok || s != shard {
+		r.assign[groupKey] = shard
+		r.appendDeltaLocked([]DirOp{{Op: OpAssign, Key: groupKey, Shard: shard}})
+	}
+	r.mu.Unlock()
+}
+
+// assignOf reports a group's committed sticky assignment.
+func (r *Router) assignOf(groupKey string) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.assign[groupKey]
+	return s, ok
+}
+
+// dropAssign removes a committed group assignment (Shrink retires the
+// lingering assignments of emptied groups that point at drained shards).
+func (r *Router) dropAssign(groupKey string) {
+	r.mu.Lock()
+	if _, ok := r.assign[groupKey]; ok {
+		delete(r.assign, groupKey)
+		r.appendDeltaLocked([]DirOp{{Op: OpUnassign, Key: groupKey}})
+	}
 	r.mu.Unlock()
 }
 
@@ -329,6 +455,7 @@ func (r *Router) record(table, pkKey string, shard int) {
 func (r *Router) forget(table, pkKey string) {
 	r.mu.Lock()
 	delete(r.dir, dirKey(table, pkKey))
+	r.appendDeltaLocked([]DirOp{{Op: OpDel, Key: dirKey(table, pkKey)}})
 	r.mu.Unlock()
 }
 
@@ -337,22 +464,71 @@ func (r *Router) rekey(table, oldKey, newKey string, shard int) {
 	r.mu.Lock()
 	delete(r.dir, dirKey(table, oldKey))
 	r.dir[dirKey(table, newKey)] = shard
+	r.appendDeltaLocked([]DirOp{
+		{Op: OpDel, Key: dirKey(table, oldKey)},
+		{Op: OpSet, Key: dirKey(table, newKey), Shard: shard},
+	})
 	r.mu.Unlock()
 }
 
 // commit folds a transaction's overlay into the committed directory,
-// deletes first so a migration's set side lands last. Under the
-// two-phase protocol it is only called after every shard committed its
-// data, so the fold is always total; an aborted transaction never folds.
+// deletes first so a migration's set side lands last, then the group
+// assignments. Under the two-phase protocol it is only called after
+// every shard committed its data, so the fold is always total — and it
+// persists as ONE delta frame, so the persisted directory is atomic per
+// transaction (a kill replays either none or all of a commit's routing
+// changes). An aborted transaction never folds.
 func (r *Router) commit(ov *dirOps) {
 	r.mu.Lock()
-	for k := range ov.del {
+	ops := make([]DirOp, 0, len(ov.del)+len(ov.set)+len(ov.aset))
+	for _, k := range sortedKeys(ov.del) {
 		delete(r.dir, k)
+		ops = append(ops, DirOp{Op: OpDel, Key: k})
 	}
-	for k, s := range ov.set {
-		r.dir[k] = s
+	for _, k := range sortedKeyInts(ov.set) {
+		r.dir[k] = ov.set[k]
+		ops = append(ops, DirOp{Op: OpSet, Key: k, Shard: ov.set[k]})
+	}
+	for _, k := range sortedKeyInts(ov.aset) {
+		if s, ok := r.assign[k]; ok && s == ov.aset[k] {
+			continue
+		}
+		r.assign[k] = ov.aset[k]
+		ops = append(ops, DirOp{Op: OpAssign, Key: k, Shard: ov.aset[k]})
+	}
+	if len(ops) > 0 {
+		r.appendDeltaLocked(ops)
 	}
 	r.mu.Unlock()
+}
+
+// appendDeltaLocked streams routing changes to the persistence store (a
+// no-op for an in-memory router). Persistence errors are sticky on the
+// store and surface at the next checkpoint — routing itself never fails
+// on a disk error, matching the outbox's best-effort auto-compaction
+// stance.
+func (r *Router) appendDeltaLocked(ops []DirOp) {
+	if r.store != nil {
+		r.store.AppendDelta(ops)
+	}
+}
+
+func sortedKeys(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeyInts(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // writeFootprint returns the tables a distributed statement on table may
@@ -396,4 +572,48 @@ func (r *Router) DirSnapshot() map[string]int {
 		out[k] = s
 	}
 	return out
+}
+
+// AssignSnapshot returns a copy of the sticky group-assignment map, keyed
+// by root table + "\x00" + routing tuple key.
+func (r *Router) AssignSnapshot() map[string]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int, len(r.assign))
+	for k, s := range r.assign {
+		out[k] = s
+	}
+	return out
+}
+
+// state snapshots the router's full dynamic state for a checkpoint.
+func (r *Router) state() DirState {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st := DirState{Shards: r.n, Dir: make(map[string]int, len(r.dir)), Assign: make(map[string]int, len(r.assign))}
+	for k, s := range r.dir {
+		st.Dir[k] = s
+	}
+	for k, s := range r.assign {
+		st.Assign[k] = s
+	}
+	return st
+}
+
+// adopt replaces the router's dynamic state wholesale (restart from a
+// persisted directory, or a rebuild from the stores). The store is not
+// written — callers checkpoint explicitly afterwards.
+func (r *Router) adopt(dir, assign map[string]int) {
+	r.mu.Lock()
+	r.dir = dir
+	r.assign = assign
+	r.mu.Unlock()
+}
+
+// attachStore wires the persistence store; every later directory change
+// appends a delta to it.
+func (r *Router) attachStore(s *DirStore) {
+	r.mu.Lock()
+	r.store = s
+	r.mu.Unlock()
 }

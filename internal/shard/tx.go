@@ -16,9 +16,13 @@ import (
 // deterministic (shard, storage-key) activation order the conformance
 // suite pins down). A Tx is not safe for concurrent use.
 type Tx struct {
-	e  *Engine
-	hs []*core.BatchHandle
-	ov *dirOps
+	e   *Engine
+	dbs []*reldb.DB // fleet snapshot taken at begin (see Engine.fleet)
+	hs  []*core.BatchHandle
+	ov  *dirOps
+	// barrier, when set, runs between prepare-all and commit-all (the
+	// rebalance crash tests' seam; see Engine.SetRebalanceBarrier).
+	barrier func()
 }
 
 // Insert routes each row to its owner (overlay-aware, so a parent
@@ -43,6 +47,9 @@ func (tx *Tx) Insert(table string, rows ...reldb.Row) error {
 			return err
 		}
 		tx.ov.record(dirKey(table, k), o)
+		if rt.parent == "" {
+			tx.ov.assign(groupKeyOf(rt, row), o)
+		}
 	}
 	return nil
 }
@@ -60,7 +67,7 @@ func (tx *Tx) UpdateByPK(table string, key []xdm.Value, set func(reldb.Row) reld
 	if !ok {
 		return false, nil
 	}
-	cur, found, err := tx.e.dbs[owner].GetByPK(table, key...)
+	cur, found, err := tx.dbs[owner].GetByPK(table, key...)
 	if err != nil || !found {
 		return false, err
 	}
@@ -91,6 +98,9 @@ func (tx *Tx) updateRow(rt *route, owner int, cur reldb.Row, set func(reldb.Row)
 				tx.ov.remove(dirKey(rt.def.Name, oldKey))
 				tx.ov.record(dirKey(rt.def.Name, nk), owner)
 			}
+			if rt.parent == "" {
+				tx.ov.assign(groupKeyOf(rt, next), owner)
+			}
 		}
 		return changed, err
 	}
@@ -114,7 +124,7 @@ func (tx *Tx) Update(table string, pred func(reldb.Row) bool, set func(reldb.Row
 	}
 	var matches []match
 	for si := range tx.hs {
-		if err := tx.e.dbs[si].Scan(table, func(r reldb.Row) bool {
+		if err := tx.dbs[si].Scan(table, func(r reldb.Row) bool {
 			if pred(r) {
 				matches = append(matches, match{si, r.Copy()})
 			}
@@ -143,7 +153,7 @@ func (tx *Tx) Delete(table string, pred func(reldb.Row) bool) (int, error) {
 	n := 0
 	for si := range tx.hs {
 		var keys []string
-		if err := tx.e.dbs[si].Scan(table, func(r reldb.Row) bool {
+		if err := tx.dbs[si].Scan(table, func(r reldb.Row) bool {
 			if pred(r) {
 				keys = append(keys, pkKeyOf(rt, r))
 			}
@@ -224,7 +234,7 @@ func (tx *Tx) migrate(from, to int, rt *route, oldRow, newRow reldb.Row) error {
 					refVals[j] = cur.row[ri]
 				}
 				var kids []reldb.Row
-				if err := tx.e.dbs[from].Scan(cr.table, func(r reldb.Row) bool {
+				if err := tx.dbs[from].Scan(cr.table, func(r reldb.Row) bool {
 					for j, fi := range cr.fkIdx {
 						if !xdm.Equal(r[fi], refVals[j]) {
 							return true
@@ -266,6 +276,9 @@ func (tx *Tx) migrate(from, to int, rt *route, oldRow, newRow reldb.Row) error {
 		// migration (see dirOps.record).
 		tx.ov.remove(oldK)
 		tx.ov.record(newK, to)
+		if nd.rt.parent == "" {
+			tx.ov.assign(groupKeyOf(nd.rt, nd.ins), to)
+		}
 	}
 	return nil
 }
@@ -289,6 +302,9 @@ func (tx *Tx) commit() error {
 			tx.rollback()
 			return fmt.Errorf("shard %d prepare: %w", si, err)
 		}
+	}
+	if tx.barrier != nil {
+		tx.barrier()
 	}
 	var firstErr error
 	for si, h := range tx.hs {

@@ -37,11 +37,17 @@ type ShardedSetup struct {
 // one shard, the invariant that makes per-shard firing equal global
 // firing.
 func BuildSharded(p Params, mode core.Mode, n int, seed int64) (*ShardedSetup, error) {
+	return BuildShardedDir(p, mode, n, seed, "")
+}
+
+// BuildShardedDir is BuildSharded with a directory-persistence path (see
+// shard.Config.Dir); empty keeps the routing directory in memory only.
+func BuildShardedDir(p Params, mode core.Mode, n int, seed int64, dir string) (*ShardedSetup, error) {
 	if p.Depth < 2 {
 		return nil, fmt.Errorf("workload: depth must be >= 2")
 	}
 	s := BuildSchema(p)
-	e, err := shard.New(s, shard.Config{Shards: n, Mode: mode})
+	e, err := shard.New(s, shard.Config{Shards: n, Mode: mode, Dir: dir})
 	if err != nil {
 		return nil, err
 	}

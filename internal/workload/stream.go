@@ -30,6 +30,13 @@ type StreamParams struct {
 	// InsertFrac / DeleteFrac are the probabilities a single op inserts a
 	// fresh leaf under a root / deletes a live leaf.
 	InsertFrac, DeleteFrac float64
+	// RebalanceFrac is the probability an op is a shard rebalance moving a
+	// few routing groups to rotated shards. The single-engine oracle
+	// ignores rebalance ops entirely — data movement must be
+	// observationally invisible, which is exactly what the differential
+	// fuzzer proves. Zero keeps the rng draw sequence of pre-elastic
+	// streams intact, so existing pinned seeds reproduce byte-identically.
+	RebalanceFrac float64
 }
 
 // DefaultStream returns fuzzer-oriented stream parameters: mostly
@@ -65,10 +72,20 @@ type LeafOp struct {
 	Payload float64 // update/insert payload
 }
 
-// Op is one unit of the stream: a single statement (len(Batch) == 1) or
-// one transaction over several leaves/roots.
+// RebalanceOp asks a sharded engine to move the routing groups of the
+// named roots to the shard Offset slots past their current one (modulo
+// the live shard count, resolved at apply time). Engines without shards
+// — the differential oracle — treat it as a no-op.
+type RebalanceOp struct {
+	Roots  []int64
+	Offset int
+}
+
+// Op is one unit of the stream: a single statement (len(Batch) == 1),
+// one transaction over several leaves/roots, or a rebalance.
 type Op struct {
-	Batch []LeafOp
+	Batch     []LeafOp
+	Rebalance *RebalanceOp
 }
 
 // GenStream generates a deterministic, replayable update stream for the
@@ -152,6 +169,21 @@ func GenStream(p Params, sp StreamParams, seed int64) ([]Op, error) {
 
 	var ops []Op
 	for i := 0; i < sp.Ops; i++ {
+		// The extra draw only happens when rebalances are requested, so a
+		// RebalanceFrac of zero replays legacy streams unchanged.
+		if sp.RebalanceFrac > 0 && rng.Float64() < sp.RebalanceFrac {
+			k := 1 + rng.Intn(3)
+			if k > numTop {
+				k = numTop
+			}
+			perm := rng.Perm(numTop)[:k]
+			roots := make([]int64, k)
+			for j, r := range perm {
+				roots[j] = int64(r)
+			}
+			ops = append(ops, Op{Rebalance: &RebalanceOp{Roots: roots, Offset: 1 + rng.Intn(7)}})
+			continue
+		}
 		if rng.Float64() < sp.CrossShardFrac && numTop > 1 {
 			nRoots := sp.BatchRoots
 			if nRoots < 2 {
@@ -200,6 +232,13 @@ type Applier interface {
 	Batch(fn func(TxWriter) error) error
 }
 
+// Rebalancer is the optional Applier extension for engines that can move
+// routing groups; appliers without it (the single-engine oracle) skip
+// rebalance ops.
+type Rebalancer interface {
+	ApplyRebalance(table string, roots []int64, offset int) error
+}
+
 // SingleApplier adapts a core.Engine.
 type SingleApplier struct{ E *core.Engine }
 
@@ -246,11 +285,34 @@ func (a ShardApplier) Batch(fn func(TxWriter) error) error {
 	return a.E.Batch(func(tx *shard.Tx) error { return fn(tx) })
 }
 
+// ApplyRebalance implements Rebalancer: each named root's group moves to
+// the shard offset slots past its current one, all in one plan.
+func (a ShardApplier) ApplyRebalance(table string, roots []int64, offset int) error {
+	n := a.E.NumShards()
+	if n < 2 {
+		return nil
+	}
+	plan := shard.Plan{}
+	for _, root := range roots {
+		key := shard.GroupKey(xdm.Int(root))
+		from := a.E.GroupOwner(table, xdm.Int(root))
+		plan.Moves = append(plan.Moves, shard.GroupMove{Table: table, Key: key, To: (from + offset) % n})
+	}
+	_, err := a.E.Rebalance(plan)
+	return err
+}
+
 // ApplyOp replays one stream op against an engine: a single statement for
 // len(Batch) == 1, one transaction otherwise. Identical streams applied
 // to the single and sharded engines must produce identical invocation
 // streams — that is the fuzzer's claim.
 func ApplyOp(a Applier, p Params, op Op) error {
+	if op.Rebalance != nil {
+		if rb, ok := a.(Rebalancer); ok {
+			return rb.ApplyRebalance(p.TableName(0), op.Rebalance.Roots, op.Rebalance.Offset)
+		}
+		return nil // the oracle: data movement is observationally invisible
+	}
 	leafTable := p.TableName(p.Depth - 1)
 	apply := func(w TxWriter, lo LeafOp) error {
 		switch lo.Kind {
