@@ -15,6 +15,7 @@ import (
 
 	"quark/internal/core"
 	"quark/internal/dispatch"
+	"quark/internal/obs"
 	"quark/internal/outbox"
 	"quark/internal/wire"
 	"quark/internal/workload"
@@ -282,41 +283,53 @@ func BenchmarkDispatch(b *testing.B) {
 // table's lock; as shards grow, writers whose roots hash to different
 // shards proceed in parallel — the near-linear scaling regime the sharded
 // engine exists for.
+// The obs=on variants run the identical workload with the full metrics
+// and tracing pipeline attached; comparing ns/update against the plain
+// variants measures the observability overhead (budget: within 5%).
 func BenchmarkShardWriters(b *testing.B) {
 	const writers = 8
-	for _, n := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("GROUPED/shards=%d", n), func(b *testing.B) {
-			p := workload.Params{Depth: 2, LeafTuples: 2048, Fanout: 64, NumTriggers: 64, NumSatisfied: 1}
-			w, err := workload.BuildSharded(p, core.ModeGrouped, n, 1)
-			if err != nil {
-				b.Fatal(err)
-			}
-			var payload atomic.Int64
-			payload.Store(1 << 20)
-			if err := w.UpdateLeafOn(0, float64(payload.Add(1))); err != nil { // warm-up
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				var wg sync.WaitGroup
-				for g := 0; g < writers; g++ {
-					wg.Add(1)
-					go func(g int) {
-						defer wg.Done()
-						leaf := int64(g*p.Fanout + i%p.Fanout)
-						if err := w.UpdateLeafOn(leaf, float64(payload.Add(1))); err != nil {
-							b.Error(err)
-						}
-					}(g)
+	for _, withObs := range []bool{false, true} {
+		name := "GROUPED/shards=%d"
+		if withObs {
+			name = "GROUPED-OBS/shards=%d"
+		}
+		for _, n := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf(name, n), func(b *testing.B) {
+				p := workload.Params{Depth: 2, LeafTuples: 2048, Fanout: 64, NumTriggers: 64, NumSatisfied: 1}
+				w, err := workload.BuildSharded(p, core.ModeGrouped, n, 1)
+				if err != nil {
+					b.Fatal(err)
 				}
-				wg.Wait()
-			}
-			b.StopTimer()
-			if w.Notifications.Load() == 0 {
-				b.Fatal("no notifications fired; benchmark is not exercising the sharded pipeline")
-			}
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*writers), "ns/update")
-		})
+				if withObs {
+					w.Engine.EnableObs(obs.New())
+				}
+				var payload atomic.Int64
+				payload.Store(1 << 20)
+				if err := w.UpdateLeafOn(0, float64(payload.Add(1))); err != nil { // warm-up
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for g := 0; g < writers; g++ {
+						wg.Add(1)
+						go func(g int) {
+							defer wg.Done()
+							leaf := int64(g*p.Fanout + i%p.Fanout)
+							if err := w.UpdateLeafOn(leaf, float64(payload.Add(1))); err != nil {
+								b.Error(err)
+							}
+						}(g)
+					}
+					wg.Wait()
+				}
+				b.StopTimer()
+				if w.Notifications.Load() == 0 {
+					b.Fatal("no notifications fired; benchmark is not exercising the sharded pipeline")
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*writers), "ns/update")
+			})
+		}
 	}
 }
 

@@ -53,6 +53,7 @@ func measure(p workload.Params, mode core.Mode) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	attachCore(w.Engine)
 	// Warm-up update (index/plan caches).
 	if err := w.UpdateOneLeaf(); err != nil {
 		return 0, err
@@ -84,11 +85,13 @@ func row(x string, p workload.Params, modes []core.Mode) {
 			os.Exit(1)
 		}
 		fmt.Printf("%16.3f", float64(d.Microseconds())/1000.0)
+		recordPoint(fmt.Sprint(m), benchPoint{"x": x, "ms_per_update": float64(d.Microseconds()) / 1000.0})
 	}
 	fmt.Println()
 }
 
 func fig17() {
+	curFig = "17"
 	modes := []core.Mode{core.ModeUngrouped, core.ModeGrouped, core.ModeGroupedAgg}
 	header("Figure 17: varying the number of triggers", modes)
 	for _, n := range []int{1, 10, 100, 1000, 10000, 100000} {
@@ -118,6 +121,7 @@ func fig17() {
 }
 
 func fig18() {
+	curFig = "18"
 	modes := []core.Mode{core.ModeGrouped, core.ModeGroupedAgg}
 	header("Figure 18: varying the hierarchy depth", modes)
 	for _, d := range []int{2, 3, 4, 5} {
@@ -128,6 +132,7 @@ func fig18() {
 }
 
 func fig22() {
+	curFig = "22"
 	modes := []core.Mode{core.ModeGrouped, core.ModeGroupedAgg}
 	header("Figure 22: varying the fanout (leaf tuples per XML element)", modes)
 	for _, f := range []int{16, 32, 64, 128, 256} {
@@ -138,6 +143,7 @@ func fig22() {
 }
 
 func fig23() {
+	curFig = "23"
 	modes := []core.Mode{core.ModeGrouped, core.ModeGroupedAgg}
 	header("Figure 23: varying the number of leaf tuples (data size)", modes)
 	for _, n := range []int{32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024} {
@@ -152,6 +158,7 @@ func fig23() {
 }
 
 func fig24() {
+	curFig = "24"
 	modes := []core.Mode{core.ModeGrouped, core.ModeGroupedAgg}
 	header("Figure 24: varying the number of satisfied triggers", modes)
 	for _, s := range []int{1, 20, 40, 80, 100} {
@@ -165,6 +172,7 @@ func fig24() {
 // per commit; the per-row trigger cost drops roughly linearly with the
 // batch size since the whole commit fires each SQL trigger once.
 func figBatch() {
+	curFig = "batch"
 	fmt.Println("\nBatch-size sweep: per-row cost of k updates per transaction (GROUPED)")
 	fmt.Printf("%-14s%16s%16s\n", "batch size", "single", "batched")
 	fmt.Printf("%-14s%16s%16s  (avg ms per row)\n", "", "(k stmts)", "(1 commit)")
@@ -177,6 +185,7 @@ func figBatch() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+			attachCore(w.Engine)
 			run := w.UpdateLeavesSingle
 			if batched {
 				run = w.UpdateLeavesBatch
@@ -210,6 +219,7 @@ func figBatch() {
 // fully drained queue: the sink work does not vanish, it just stops
 // stalling the writer.
 func figDispatch() {
+	curFig = "dispatch"
 	fmt.Println("\nDispatch sweep: per-update writer cost vs sink latency (GROUPED)")
 	fmt.Printf("%-14s%16s%16s%16s%16s\n", "sink latency", "sync", "async writer", "async e2e", "writer speedup")
 	burst := *updatesFlag
@@ -227,6 +237,7 @@ func figDispatch() {
 				os.Exit(1)
 			}
 			lat := lat
+			attachCore(w.Engine)
 			w.Engine.RegisterAction("notify", func(core.Invocation) error {
 				if lat > 0 {
 					time.Sleep(lat)
@@ -284,6 +295,7 @@ func figDispatch() {
 // record for replay, so freshness-first queueing still converges to
 // complete delivery.
 func figOutbox() {
+	curFig = "outbox"
 	fmt.Println("\nOutbox sweep (1): per-update writer cost, async vs async+outbox (1ms sink)")
 	fmt.Printf("%-24s%16s\n", "", "(avg ms per update)")
 	burst := *updatesFlag
@@ -297,6 +309,7 @@ func figOutbox() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		attachCore(w.Engine)
 		w.Engine.RegisterAction("notify", func(core.Invocation) error {
 			time.Sleep(time.Millisecond)
 			return nil
@@ -393,6 +406,7 @@ func runFloodScenario(label string, dcfg dispatch.Config) {
 		reldb.Row{xdm.Str("STEADY"), xdm.Float(1)},
 	))
 	e := core.NewEngine(db, core.ModeGrouped)
+	attachCore(e)
 	e.RegisterAction("notify", func(core.Invocation) error { return nil })
 	_, err = e.CreateView("m", `<m>{for $q in view('default')/quote/row return <q sym={$q/sym} price={$q/price}></q>}</m>`)
 	fail(err)
@@ -454,6 +468,7 @@ func runFloodScenario(label string, dcfg dispatch.Config) {
 //     writers routed apart, so scaling approaches min(writers, shards,
 //     distinct shards hit) even on one core.
 func figShard() {
+	curFig = "shard"
 	fmt.Printf("\nShard sweep: 8 routed writers (GROUPED), GOMAXPROCS=%d\n", runtime.GOMAXPROCS(0))
 	runShardSweep("CPU-bound (no sink latency)", 0, *updatesFlag)
 	u := *updatesFlag
@@ -478,6 +493,7 @@ func runShardSweep(label string, sinkLatency time.Duration, updatesPerWriter int
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		attachShard(w.Engine)
 		if sinkLatency > 0 {
 			w.Engine.RegisterAction("notify", func(core.Invocation) error {
 				time.Sleep(sinkLatency)
@@ -512,12 +528,19 @@ func runShardSweep(label string, sinkLatency time.Duration, updatesPerWriter int
 		if n == 1 {
 			base = perSec
 		}
+		recordPoint(label, benchPoint{
+			"x":               n,
+			"updates_per_sec": perSec,
+			"ms_per_update":   elapsed.Seconds() * 1000 / float64(total),
+			"speedup":         perSec / base,
+		})
 		fmt.Printf("  %-10d%16.0f%16.3f%11.2fx\n", n, perSec,
 			elapsed.Seconds()*1000/float64(total), perSec/base)
 	}
 }
 
 func figCompile() {
+	curFig = "compile"
 	fmt.Println("\nTrigger compile time (paper §6: ~100 ms on 2003 hardware)")
 	p := defaults()
 	p.NumTriggers = 1
@@ -526,6 +549,7 @@ func figCompile() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	attachCore(w.Engine)
 	start := time.Now()
 	const n = 20
 	for i := 0; i < n; i++ {
@@ -544,6 +568,7 @@ func figCompile() {
 
 func main() {
 	flag.Parse()
+	stop := startObs()
 	fmt.Printf("quark benchrunner: scale=%.2f updates/point=%d\n", *scaleFlag, *updatesFlag)
 	switch *figFlag {
 	case "17":
@@ -581,4 +606,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
 		os.Exit(2)
 	}
+	writeBenchDocs()
+	runGate()
+	stop()
 }

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"quark/internal/core"
+	"quark/internal/obs"
+	"quark/internal/shard"
+)
+
+var (
+	obsAddrFlag = flag.String("obs.addr", "", "serve /metrics, /snapshot, and pprof on this address while figures run")
+	obsHoldFlag = flag.Duration("obs.hold", 0, "keep the debug server up this long after the figures finish (CI smoke)")
+	jsonFlag    = flag.Bool("json", false, "write a BENCH_<fig>.json snapshot per figure run")
+	gateFlag    = flag.String("gate", "", "baseline BENCH_<fig>.json to diff against; exit 1 on throughput regression")
+	gateTolFlag = flag.Float64("gate.tolerance", 0.15, "relative throughput drop tolerated by -gate")
+)
+
+// obsReg is the process-wide registry, non-nil only with -obs.addr:
+// every engine a figure builds attaches to it, so the scrape shows the
+// full pipeline's series while a sweep runs.
+var obsReg *obs.Registry
+
+// attachCore and attachShard wire a freshly built engine into the global
+// registry (no-ops when -obs.addr is unset). Later engines re-register
+// the same collector names, replacing earlier ones — the scrape follows
+// the most recently built engine, which is the one running.
+func attachCore(e *core.Engine) {
+	if obsReg != nil {
+		e.EnableObs(obsReg)
+	}
+}
+
+func attachShard(e *shard.Engine) {
+	if obsReg != nil {
+		e.EnableObs(obsReg)
+	}
+}
+
+// startObs brings the debug server up before any figure runs; the
+// returned stop function holds it open for -obs.hold, then closes it.
+func startObs() (stop func()) {
+	if *obsAddrFlag == "" {
+		return func() {}
+	}
+	obsReg = obs.New()
+	srv, err := obs.Serve(*obsAddrFlag, obsReg, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("observability: serving /metrics, /snapshot, /debug/pprof on %s\n", srv.Addr())
+	return func() {
+		if *obsHoldFlag > 0 {
+			fmt.Printf("observability: holding the debug server for %s\n", *obsHoldFlag)
+			time.Sleep(*obsHoldFlag)
+		}
+		_ = srv.Close()
+	}
+}
+
+// --- BENCH_<fig>.json snapshots: the repo's recorded perf trajectory ---
+
+// benchPoint is one measured point of one series (x value + metrics).
+type benchPoint map[string]any
+
+type benchSeries struct {
+	Label  string       `json:"label"`
+	Points []benchPoint `json:"points"`
+}
+
+// benchDoc is one figure's snapshot: enough config to reproduce the run
+// plus every measured series. CI diffs the committed snapshot against a
+// fresh run (see -gate).
+type benchDoc struct {
+	Fig        string         `json:"fig"`
+	Scale      float64        `json:"scale"`
+	Updates    int            `json:"updates"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	GoVersion  string         `json:"go_version"`
+	Series     []*benchSeries `json:"series"`
+}
+
+var (
+	curFig    string // set by each fig runner; keys recordPoint into a doc
+	benchDocs = map[string]*benchDoc{}
+	docOrder  []string
+)
+
+// recordPoint appends one measurement to the named series of the current
+// figure's snapshot. A no-op without -json or -gate.
+func recordPoint(series string, pt benchPoint) {
+	if (!*jsonFlag && *gateFlag == "") || curFig == "" {
+		return
+	}
+	doc, ok := benchDocs[curFig]
+	if !ok {
+		doc = &benchDoc{
+			Fig:        curFig,
+			Scale:      *scaleFlag,
+			Updates:    *updatesFlag,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+		}
+		benchDocs[curFig] = doc
+		docOrder = append(docOrder, curFig)
+	}
+	for _, s := range doc.Series {
+		if s.Label == series {
+			s.Points = append(s.Points, pt)
+			return
+		}
+	}
+	doc.Series = append(doc.Series, &benchSeries{Label: series, Points: []benchPoint{pt}})
+}
+
+// writeBenchDocs writes one BENCH_<fig>.json per recorded figure.
+func writeBenchDocs() {
+	if !*jsonFlag {
+		return
+	}
+	for _, fig := range docOrder {
+		doc := benchDocs[fig]
+		path := fmt.Sprintf("BENCH_%s.json", fig)
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+// runGate diffs the fresh run against the committed baseline: for every
+// (series, x) point both runs measured, a throughput metric
+// (updates_per_sec) may not drop more than -gate.tolerance relative to
+// the baseline. Latency-style metrics are reported but do not gate —
+// they invert (lower is better) and CI hardware varies more than 15%.
+func runGate() {
+	if *gateFlag == "" {
+		return
+	}
+	raw, err := os.ReadFile(*gateFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var base benchDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "gate: parsing %s: %v\n", *gateFlag, err)
+		os.Exit(1)
+	}
+	cur, ok := benchDocs[base.Fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gate: baseline is fig %q but this run did not record it (run with -fig %s)\n", base.Fig, base.Fig)
+		os.Exit(1)
+	}
+	curPoints := map[string]float64{}
+	for _, s := range cur.Series {
+		for _, p := range s.Points {
+			if v, ok := p["updates_per_sec"].(float64); ok {
+				curPoints[fmt.Sprintf("%s|%v", s.Label, p["x"])] = v
+			}
+		}
+	}
+	failed := false
+	for _, s := range base.Series {
+		for _, p := range s.Points {
+			bv, ok := p["updates_per_sec"].(float64)
+			if !ok {
+				continue
+			}
+			key := fmt.Sprintf("%s|%v", s.Label, p["x"])
+			cv, ok := curPoints[key]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "gate: baseline point %q missing from this run\n", key)
+				failed = true
+				continue
+			}
+			floor := bv * (1 - *gateTolFlag)
+			status := "ok"
+			if cv < floor {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("gate: %-40s baseline %10.0f/s current %10.0f/s (floor %10.0f/s) %s\n",
+				key, bv, cv, floor, status)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "gate: writer throughput dropped more than %.0f%% vs %s\n", *gateTolFlag*100, *gateFlag)
+		os.Exit(1)
+	}
+	fmt.Printf("gate: all points within %.0f%% of %s\n", *gateTolFlag*100, *gateFlag)
+}

@@ -6,13 +6,21 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"quark/internal/core"
 	"quark/internal/fixtures"
+	"quark/internal/obs"
 	"quark/internal/reldb"
 	"quark/internal/xdm"
+)
+
+var (
+	obsAddr = flag.String("obs.addr", "", "serve /metrics, /snapshot, and pprof on this address")
+	obsHold = flag.Duration("obs.hold", 0, "keep the debug server up this long after the demo finishes")
 )
 
 const catalogView = `
@@ -36,6 +44,7 @@ WHERE OLD_NODE/@name = 'CRT 15'
 DO notifySmith(NEW_NODE)`
 
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "quark:", err)
 		os.Exit(1)
@@ -48,6 +57,23 @@ func run() error {
 		return err
 	}
 	engine := core.NewEngine(db, core.ModeGroupedAgg)
+
+	if *obsAddr != "" {
+		reg := obs.New()
+		engine.EnableObs(reg)
+		srv, err := obs.Serve(*obsAddr, reg, func() any { return engine.Snapshot() })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("observability: serving /metrics, /snapshot, /debug/pprof on %s\n", srv.Addr())
+		defer func() {
+			if *obsHold > 0 {
+				fmt.Printf("observability: holding the debug server for %s\n", *obsHold)
+				time.Sleep(*obsHold)
+			}
+			_ = srv.Close()
+		}()
+	}
 
 	engine.RegisterAction("notifySmith", func(inv core.Invocation) error {
 		fmt.Println("\n=== notifySmith invoked ===")

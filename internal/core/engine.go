@@ -20,12 +20,14 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"quark/internal/affected"
 	"quark/internal/compile"
 	"quark/internal/dispatch"
 	"quark/internal/events"
 	"quark/internal/grouping"
+	"quark/internal/obs"
 	"quark/internal/outbox"
 	"quark/internal/reldb"
 	"quark/internal/trigger"
@@ -78,13 +80,16 @@ type ActionFunc func(inv Invocation) error
 // meaningful after EnableAsyncDispatch: Dispatch carries the dispatcher's
 // queue counters (enqueued, completed, dropped, max depth, action errors).
 // Outbox and OutboxLog are only meaningful after EnableOutbox: OutboxLog
-// carries the durable log's append/ack counters.
+// carries the durable log's append/ack counters. DB folds in the
+// relational layer's statement and access-path counters, so one Stats
+// call covers every layer under the engine.
 type Stats struct {
 	XMLTriggers int
 	SQLTriggers int
 	Groups      int
 	Fires       int64
 	Actions     int64
+	DB          reldb.Stats
 	Async       bool
 	Dispatch    dispatch.Stats
 	Outbox      bool
@@ -177,6 +182,11 @@ type Engine struct {
 
 	fires   atomic.Int64
 	actsRun atomic.Int64
+
+	// obsp, when non-nil, holds the resolved metric handles of an attached
+	// observability registry (EnableObs). Nil means disabled: every
+	// instrumented path reduces to one atomic load and a branch.
+	obsp atomic.Pointer[engineObs]
 }
 
 // DeliveryStripes is the per-trigger mutex set serializing outbox append
@@ -429,6 +439,9 @@ func (e *Engine) EnableAsyncDispatch(cfg dispatch.Config) error {
 		return fmt.Errorf("core: async dispatch already enabled")
 	}
 	e.dispShared.Store(false)
+	if m := e.obsp.Load(); m != nil {
+		d.AttachObs(m.reg)
+	}
 	return nil
 }
 
@@ -449,6 +462,9 @@ func (e *Engine) AttachSharedDispatcher(d *dispatch.Dispatcher) error {
 		return fmt.Errorf("core: async dispatch already enabled")
 	}
 	e.dispShared.Store(true)
+	if m := e.obsp.Load(); m != nil {
+		d.AttachObs(m.reg)
+	}
 	return nil
 }
 
@@ -541,6 +557,9 @@ func (e *Engine) EnableOutboxShared(lg *outbox.Log, sink outbox.Sink, stripes *D
 	}
 	if stripes != nil {
 		e.obStripes = stripes
+	}
+	if m := e.obsp.Load(); m != nil {
+		lg.AttachObs(m.reg)
 	}
 	return nil
 }
@@ -639,11 +658,19 @@ func (e *Engine) deliverDurable(ob *outboxState, d *dispatch.Dispatcher, fn Acti
 func (e *Engine) durableRun(ob *outboxState, fn ActionFunc, inv Invocation, rec *wire.Record) func() error {
 	return func() error {
 		e.actsRun.Add(1)
+		var start time.Time
+		m := e.obsp.Load()
+		if m != nil {
+			start = time.Now()
+		}
 		var err error
 		if ob.sink != nil {
 			err = ob.sink.Deliver(rec)
 		} else {
 			err = fn(inv)
+		}
+		if m != nil {
+			m.sink.Since(start)
 		}
 		if err != nil {
 			if _, dlErr := ob.log.NoteFailure(rec); dlErr != nil {
@@ -700,6 +727,9 @@ type waveItem struct {
 type deliveryWave struct {
 	e     *Engine
 	items []waveItem
+	// span, when non-nil, is the committing handle's "commit" phase span:
+	// the wave's group append and deliveries trace as its children.
+	span *obs.Span
 }
 
 // add stages one delivery; it reports whether this was the wave's first
@@ -751,13 +781,28 @@ func (w *deliveryWave) run() error {
 	for i, it := range w.items {
 		recs[i] = it.rec
 	}
+	asp := w.span.Child("outbox-append")
+	asp.SetAttr("records", fmt.Sprint(len(recs)))
 	if _, err := w.e.obAppendBatch(ob, recs); err != nil {
+		asp.SetAttr("err", err.Error())
+		asp.End()
 		return err
 	}
+	asp.End()
 	for _, it := range w.items {
 		run := e.durableRun(ob, it.fn, it.inv, it.rec)
 		if d == nil {
-			if err := run(); err != nil {
+			// Synchronous durable delivery (sink + ack) traces inline; the
+			// async path's latency lives in the dispatch histograms instead,
+			// since the delivery outlives the commit span.
+			dsp := w.span.Child("deliver")
+			dsp.SetAttr("trigger", it.inv.Trigger)
+			err := run()
+			if err != nil {
+				dsp.SetAttr("err", err.Error())
+			}
+			dsp.End()
+			if err != nil {
 				return fmt.Errorf("core: action %s of trigger %s: %w", it.fnName, it.inv.Trigger, err)
 			}
 			continue
@@ -1087,10 +1132,17 @@ func (e *Engine) flushLocked() error {
 	}
 	e.pendingDropSQL = nil
 
+	m := e.obsp.Load()
 	for _, sig := range e.order {
 		g := e.groups[sig]
 		if g.built && !e.dirtyGroups[sig] {
+			if m != nil {
+				m.planHits.Inc()
+			}
 			continue
+		}
+		if m != nil {
+			m.planMiss.Inc()
 		}
 		for _, n := range g.sqlNames {
 			_ = e.db.DropTrigger(n)
@@ -1341,6 +1393,9 @@ func (e *Engine) fire(g *group, plan *installedPlan, ctx *reldb.FireContext) err
 		return e.fireBatch(g, plan, ctx)
 	}
 	e.fires.Add(1)
+	if m := e.obsp.Load(); m != nil {
+		defer m.fire.Since(time.Now())
+	}
 	deltas := map[string]*xqgm.Transition{
 		ctx.Table: {Inserted: ctx.Inserted, Deleted: ctx.Deleted},
 	}
@@ -1359,6 +1414,14 @@ func (e *Engine) fireBatch(g *group, plan *installedPlan, ctx *reldb.FireContext
 	}
 	plan.lastBatch = ctx.Batch.Seq
 	e.fires.Add(1)
+	if m := e.obsp.Load(); m != nil {
+		defer m.fire.Since(time.Now())
+		if psp, ok := ctx.Batch.Obs.(*obs.Span); ok && psp != nil {
+			sp := psp.Child("eval")
+			sp.SetAttr("tables", fmt.Sprint(len(ctx.Batch.Deltas)))
+			defer sp.End()
+		}
+	}
 	deltas := make(map[string]*xqgm.Transition, len(ctx.Batch.Deltas))
 	for t, nd := range ctx.Batch.Deltas {
 		deltas[t] = &xqgm.Transition{Inserted: nd.Inserted, Deleted: nd.Deleted}
@@ -1502,6 +1565,7 @@ func (e *Engine) Stats() Stats {
 		Actions:     e.actsRun.Load(),
 	}
 	e.mu.RUnlock()
+	st.DB = e.db.Stats()
 	if d := e.dispatcher.Load(); d != nil {
 		st.Async = true
 		st.Dispatch = d.Stats()
@@ -1629,6 +1693,10 @@ type BatchHandle struct {
 	unlock   func()
 	done     bool
 	prepared bool
+	// span is the handle's root trace ("tx"), non-nil only with
+	// observability attached; Prepare/Commit/Rollback open phase children
+	// and the commit's delivery wave nests its outbox append under it.
+	span *obs.Span
 }
 
 // BeginBatch flushes pending trigger builds, write-locks every table, and
@@ -1639,8 +1707,20 @@ func (e *Engine) BeginBatch() (*BatchHandle, error) {
 		return nil, err
 	}
 	unlock := e.lockAllForWrite()
-	return &BatchHandle{e: e, tx: e.db.Begin(), unlock: unlock}, nil
+	h := &BatchHandle{e: e, tx: e.db.Begin(), unlock: unlock}
+	if m := e.obsp.Load(); m != nil {
+		h.span = m.reg.StartSpan("tx")
+	}
+	return h, nil
 }
+
+// AttachSpan replaces the handle's trace span with sp — a fleet
+// coordinator (the sharded engine) passes a child of its own distributed-
+// transaction root so every shard's prepare/commit/abort phases nest
+// under one tree. The handle ends sp at Commit/Rollback but never retains
+// it; retaining the root is the coordinator's job. Passing nil disables
+// tracing for this handle.
+func (h *BatchHandle) AttachSpan(sp *obs.Span) { h.span = sp }
 
 // Tx returns the handle's transaction for applying mutations.
 func (h *BatchHandle) Tx() *reldb.Tx { return h.tx }
@@ -1674,14 +1754,33 @@ func (h *BatchHandle) Prepare() error {
 	if h.prepared {
 		return nil
 	}
+	sp := h.span.Child("prepare")
+	if h.span != nil {
+		// Thread the prepare span to the firing waves (reldb copies the
+		// token onto the BatchInfo), so each group's trigger evaluation
+		// traces as an "eval" child of this prepare.
+		h.tx.SetObsToken(sp)
+	}
 	if err := h.tx.Prepare(); err != nil {
+		sp.SetAttr("err", err.Error())
+		sp.End()
 		return err
+	}
+	if h.span != nil {
+		if b := h.tx.Staged(); b != nil {
+			if st, ok := b.EngineState.(*batchState); ok {
+				sp.SetAttr("staged", fmt.Sprint(len(st.staged)))
+			}
+		}
 	}
 	if chk := h.e.prepCheck.Load(); chk != nil {
 		if err := (*chk)(h.e.stagedInvocations(h.tx.Staged())); err != nil {
+			sp.SetAttr("err", err.Error())
+			sp.End()
 			return err
 		}
 	}
+	sp.End()
 	h.prepared = true
 	return nil
 }
@@ -1701,7 +1800,24 @@ func (h *BatchHandle) Commit() error {
 	}
 	h.done = true
 	defer h.unlock()
-	return h.tx.Commit()
+	sp := h.span.Child("commit")
+	if h.span != nil {
+		// Hand the commit span to the delivery wave (if any trigger staged
+		// one): the group-commit outbox append and synchronous deliveries
+		// trace as its children.
+		if b := h.tx.Staged(); b != nil {
+			if st, ok := b.EngineState.(*batchState); ok && st.wave != nil {
+				st.wave.span = sp
+			}
+		}
+	}
+	err := h.tx.Commit()
+	if err != nil {
+		sp.SetAttr("err", err.Error())
+	}
+	sp.End()
+	h.span.End()
+	return err
 }
 
 // Rollback undoes the transaction's mutations (no triggers fire) and
@@ -1712,7 +1828,14 @@ func (h *BatchHandle) Rollback() error {
 	}
 	h.done = true
 	defer h.unlock()
-	return h.tx.Rollback()
+	err := h.tx.Rollback()
+	sp := h.span.Child("abort")
+	if err != nil {
+		sp.SetAttr("err", err.Error())
+	}
+	sp.End()
+	h.span.End()
+	return err
 }
 
 // Run drives fn to commit or rollback with the panic safety of Batch.
@@ -1770,7 +1893,11 @@ func (e *Engine) BeginBatchTables(tables []string) (*BatchHandle, error) {
 	e.mu.RUnlock()
 	tx := e.db.Begin()
 	tx.Restrict(tables)
-	return &BatchHandle{e: e, tx: tx, unlock: unlock}, nil
+	h := &BatchHandle{e: e, tx: tx, unlock: unlock}
+	if m := e.obsp.Load(); m != nil {
+		h.span = m.reg.StartSpan("tx")
+	}
+	return h, nil
 }
 
 // EvalView materializes a registered view (for inspection/examples). It

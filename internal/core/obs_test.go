@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"quark/internal/dispatch"
+	"quark/internal/obs"
+	"quark/internal/outbox"
+	"quark/internal/reldb"
+	"quark/internal/xdm"
+)
+
+// collectTree flattens a span tree depth-first.
+func collectTree(s *obs.Span) []*obs.Span {
+	out := []*obs.Span{s}
+	for _, c := range s.Children() {
+		out = append(out, collectTree(c)...)
+	}
+	return out
+}
+
+// checkSpanConformance enforces the trace contract on every retained
+// root: roots are named "tx", every span in a retained tree is ended,
+// and a prepare phase is always resolved by a commit or an abort in the
+// same tree — a trace can never show a transaction stuck in prepare.
+func checkSpanConformance(t *testing.T, reg *obs.Registry) []*obs.Span {
+	t.Helper()
+	roots := reg.FinishedSpans()
+	for _, root := range roots {
+		if root.Name != "tx" {
+			t.Errorf("retained root %q, want \"tx\"", root.Name)
+		}
+		prepares, terminals := 0, 0
+		for _, c := range root.Children() {
+			switch c.Name {
+			case "prepare":
+				prepares++
+			case "commit", "abort":
+				terminals++
+			}
+		}
+		if prepares > 0 && terminals == 0 {
+			t.Errorf("trace has %d prepare span(s) but no commit/abort:\n%s", prepares, root.Render())
+		}
+		for _, s := range collectTree(root) {
+			if !s.Ended() {
+				t.Errorf("retained tree holds unfinished span %q:\n%s", s.Name, root.Render())
+			}
+		}
+	}
+	return roots
+}
+
+// hasChild reports whether any retained root has a child chain matching
+// the given names (searching each level among all children).
+func findSpan(roots []*obs.Span, path ...string) *obs.Span {
+	level := roots
+	var hit *obs.Span
+	for _, name := range path {
+		hit = nil
+		for _, s := range level {
+			if s.Name == name {
+				hit = s
+				break
+			}
+		}
+		if hit == nil {
+			return nil
+		}
+		level = hit.Children()
+	}
+	return hit
+}
+
+func bumpBatch(e *Engine, sym string, p float64) error {
+	return e.Batch(func(tx *reldb.Tx) error {
+		_, err := tx.UpdateByPK("quote", []xdm.Value{xdm.Str(sym)}, func(r reldb.Row) reldb.Row {
+			r[1] = xdm.Float(p)
+			return r
+		})
+		return err
+	})
+}
+
+// TestSpanConformanceSync commits, rolls back explicitly, and rolls back
+// through a body error, all with synchronous delivery, and requires the
+// retained traces to conform — including the trigger evaluation nesting
+// as an "eval" child of the prepare phase.
+func TestSpanConformanceSync(t *testing.T) {
+	e := newWatchedEngine(t, 2)
+	defer e.Close()
+	reg := obs.New()
+	e.EnableObs(reg)
+
+	for i := 0; i < 3; i++ {
+		if err := bumpBatch(e, "QRK", 100.5+float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := e.BeginBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("body failed")
+	if err := e.Batch(func(*reldb.Tx) error { return wantErr }); err == nil {
+		t.Fatal("erroring batch body must surface its error")
+	}
+
+	roots := checkSpanConformance(t, reg)
+	if len(roots) != 5 {
+		t.Fatalf("retained %d traces, want 5", len(roots))
+	}
+	if findSpan(roots, "tx", "prepare", "eval") == nil {
+		t.Fatalf("no trace shows an eval span under prepare; first trace:\n%s", roots[0].Render())
+	}
+	if sp := findSpan(roots, "tx", "prepare"); sp == nil || sp.Attrs["staged"] == "" {
+		t.Fatal("prepare span missing the staged-count attribute")
+	}
+	aborted := 0
+	for _, r := range roots {
+		if findSpan([]*obs.Span{r}, "tx", "abort") != nil {
+			aborted++
+		}
+	}
+	if aborted != 2 {
+		t.Fatalf("retained %d aborted traces, want 2 (explicit rollback + body error)", aborted)
+	}
+}
+
+// TestSpanConformanceAsync runs the same contract with the async
+// dispatcher: deliveries outlive the commit span, but every prepare is
+// still resolved before the root is retained.
+func TestSpanConformanceAsync(t *testing.T) {
+	e := newWatchedEngine(t, 3)
+	defer e.Close()
+	reg := obs.New()
+	e.EnableObs(reg)
+	if err := e.EnableAsyncDispatch(dispatch.Config{Workers: 4, QueueCap: 256, Policy: dispatch.Block}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := bumpBatch(e, "XML", 200.5+float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	roots := checkSpanConformance(t, reg)
+	if len(roots) != 4 {
+		t.Fatalf("retained %d traces, want 4", len(roots))
+	}
+}
+
+// TestSpanConformanceOutboxReplay commits through the group-commit
+// outbox into a partially failing sink, then restarts and replays. The
+// original run's traces must conform and show the wave's group append
+// ("outbox-append") and per-delivery spans under the commit phase, with
+// delivery errors annotated; replay happens below core, so the replayed
+// process records no new commit traces.
+func TestSpanConformanceOutboxReplay(t *testing.T) {
+	dir := t.TempDir()
+	lg, err := outbox.Open(dir, outbox.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newWatchedEngine(t, 3)
+	reg := obs.New()
+	e.EnableObs(reg)
+	sink := outbox.NewPartitionedSink(2)
+	sink.FailFor = func(trig string) bool { return trig == "W1" }
+	if err := e.EnableOutbox(lg, sink); err != nil {
+		t.Fatal(err)
+	}
+	const updates = 3
+	for i := 0; i < updates; i++ {
+		// W1's delivery fails; the wave aborts but the commit stands
+		// (AFTER-trigger semantics), so the error surfaces here.
+		if err := bumpBatch(e, "QRK", 300.5+float64(i)); err == nil {
+			t.Fatal("failing sink must surface a delivery error")
+		}
+	}
+	roots := checkSpanConformance(t, reg)
+	if len(roots) != updates {
+		t.Fatalf("retained %d traces, want %d", len(roots), updates)
+	}
+	if sp := findSpan(roots, "tx", "commit", "outbox-append"); sp == nil || sp.Attrs["records"] != "3" {
+		t.Fatalf("commit trace missing the 3-record group append:\n%s", roots[0].Render())
+	}
+	var failed *obs.Span
+	for _, r := range roots {
+		for _, c := range findSpan([]*obs.Span{r}, "tx", "commit").Children() {
+			if c.Name == "deliver" && c.Attrs["err"] != "" {
+				failed = c
+			}
+		}
+	}
+	if failed == nil || failed.Attrs["trigger"] != "W1" {
+		t.Fatalf("no deliver span carries W1's sink error:\n%s", roots[0].Render())
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart and replay into a healthy sink: the undelivered W1 records
+	// arrive, and the replay counter on a fresh registry records them.
+	lg2, err := outbox.Open(dir, outbox.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg2.Close()
+	reg2 := obs.New()
+	lg2.AttachObs(reg2)
+	replay := outbox.NewPartitionedSink(2)
+	n, err := lg2.Replay(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < updates {
+		t.Fatalf("replayed %d records, want >= %d", n, updates)
+	}
+	snap := reg2.Snapshot()
+	if got := snap.Counters["quark_outbox_replayed_total"]; got != int64(n) {
+		t.Fatalf("quark_outbox_replayed_total = %d, want %d", got, n)
+	}
+	if len(reg2.FinishedSpans()) != 0 {
+		t.Fatal("replay must not record commit traces")
+	}
+}
+
+// TestEngineSnapshotUnifiesLayers checks the one-call Snapshot: engine
+// stats (with the folded-in reldb.Stats) plus the registry's metrics.
+func TestEngineSnapshotUnifiesLayers(t *testing.T) {
+	e := newWatchedEngine(t, 2)
+	defer e.Close()
+	reg := obs.New()
+	e.EnableObs(reg)
+	if err := bumpBatch(e, "QRK", 150); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	if snap.Stats.Fires == 0 || snap.Stats.Actions == 0 {
+		t.Fatalf("snapshot stats = %+v, want fires and actions", snap.Stats)
+	}
+	if snap.Stats.DB.Statements == 0 {
+		t.Fatal("snapshot must fold reldb stats into engine stats")
+	}
+	if snap.Obs.Counters["quark_core_fires_total"] != snap.Stats.Fires {
+		t.Fatalf("obs counter %d != stats fires %d",
+			snap.Obs.Counters["quark_core_fires_total"], snap.Stats.Fires)
+	}
+	if h, ok := snap.Obs.Histograms["quark_core_fire_ns"]; !ok || h.Count == 0 {
+		t.Fatal("snapshot missing the fire-latency histogram")
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "quark_reldb_statements_total") {
+		t.Fatal("scrape missing the reldb collector series")
+	}
+}

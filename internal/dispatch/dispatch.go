@@ -28,6 +28,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"quark/internal/obs"
 )
 
 // Policy selects the backpressure behavior of Enqueue on a full queue.
@@ -79,6 +83,10 @@ var (
 type Delivery struct {
 	Trigger string
 	Run     func() error
+	// at is the enqueue timestamp, stamped by Enqueue only while
+	// observability is attached; the worker turns it into the queue-wait
+	// histogram. Unstamped (zero) deliveries record nothing.
+	at time.Time
 }
 
 // Config parameterizes a Dispatcher.
@@ -110,6 +118,7 @@ type Stats struct {
 	Completed    int64 // deliveries whose action finished (ok or error)
 	Dropped      int64 // deliveries discarded (DropNewest) or rejected (Error)
 	ActionErrors int64 // actions that returned an error or panicked
+	Panics       int64 // actions that panicked (a subset of ActionErrors)
 	Queued       int64 // current queue depth (waiting, not running)
 	Running      int64 // deliveries executing right now
 	MaxDepth     int64 // high-water mark of Queued
@@ -122,6 +131,7 @@ type LaneStats struct {
 	Completed    int64
 	Dropped      int64
 	ActionErrors int64
+	Panics       int64 // recovered action panics (a subset of ActionErrors)
 	Queued       int64
 	MaxDepth     int64
 }
@@ -155,7 +165,42 @@ type Dispatcher struct {
 	closed  bool
 	stats   Stats
 
+	// om, when non-nil, holds resolved metric handles (see AttachObs).
+	// Nil is the disabled fast path: no clock reads on enqueue or run.
+	om atomic.Pointer[dispObs]
+
 	wg sync.WaitGroup
+}
+
+// dispObs is the resolved metric-handle set for one dispatcher.
+type dispObs struct {
+	wait *obs.Histogram // quark_dispatch_queue_wait_ns: enqueue → worker pickup
+	run  *obs.Histogram // quark_dispatch_run_ns: action execution time
+}
+
+// AttachObs resolves the dispatcher's latency histograms and registers
+// snapshot-time collectors for its counters and queue depths. Attaching
+// again (same or different registry) replaces the handles; AttachObs(nil)
+// detaches the hot-path handles (the registered collectors keep reading
+// live stats, which stay cheap). Idempotent and safe during operation.
+func (d *Dispatcher) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		d.om.Store(nil)
+		return
+	}
+	d.om.Store(&dispObs{
+		wait: reg.Histogram("quark_dispatch_queue_wait_ns", nil),
+		run:  reg.Histogram("quark_dispatch_run_ns", nil),
+	})
+	reg.Func("quark_dispatch_enqueued_total", func() int64 { return d.Stats().Enqueued })
+	reg.Func("quark_dispatch_completed_total", func() int64 { return d.Stats().Completed })
+	reg.Func("quark_dispatch_dropped_total", func() int64 { return d.Stats().Dropped })
+	reg.Func("quark_dispatch_action_errors_total", func() int64 { return d.Stats().ActionErrors })
+	reg.Func("quark_dispatch_panics_total", func() int64 { return d.Stats().Panics })
+	reg.GaugeFunc("quark_dispatch_queued", func() int64 { return d.Stats().Queued })
+	reg.GaugeFunc("quark_dispatch_running", func() int64 { return d.Stats().Running })
+	reg.GaugeFunc("quark_dispatch_queue_max_depth", func() int64 { return d.Stats().MaxDepth })
+	reg.GaugeFunc("quark_dispatch_lanes", func() int64 { return int64(d.Stats().Lanes) })
 }
 
 // New starts a dispatcher with cfg.Workers goroutines.
@@ -194,6 +239,11 @@ func (d *Dispatcher) laneOf(name string) *lane {
 // policy; the returned error is nil unless the policy is Error
 // (ErrQueueFull) or the dispatcher is closed (ErrClosed).
 func (d *Dispatcher) Enqueue(dl Delivery) error {
+	if m := d.om.Load(); m != nil {
+		// Stamp before any Block-policy wait: time spent throttled on a
+		// full queue is queue pressure and belongs in the wait histogram.
+		dl.at = time.Now()
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for {
@@ -290,7 +340,18 @@ func (d *Dispatcher) worker() {
 		d.space.Broadcast()
 		d.mu.Unlock()
 
-		err := runDelivery(dl)
+		m := d.om.Load()
+		var runStart time.Time
+		if m != nil {
+			if !dl.at.IsZero() {
+				m.wait.Since(dl.at)
+			}
+			runStart = time.Now()
+		}
+		panicked, err := runDelivery(dl)
+		if m != nil {
+			m.run.Since(runStart)
+		}
 		if err != nil && d.cfg.OnError != nil {
 			// Report before the completion accounting below: the delivery
 			// still counts as running, so Drain/DrainTrigger/Close callers
@@ -306,6 +367,10 @@ func (d *Dispatcher) worker() {
 			d.stats.ActionErrors++
 			ln.stats.ActionErrors++
 		}
+		if panicked {
+			d.stats.Panics++
+			ln.stats.Panics++
+		}
 		ln.active = false
 		if len(ln.pending) > 0 {
 			d.runq = append(d.runq, ln)
@@ -319,14 +384,17 @@ func (d *Dispatcher) worker() {
 
 // runDelivery shields the pool from a panicking action: inline invocation
 // would propagate the panic to the writer, but on a worker it would crash
-// the whole process, so it is converted to an error and counted.
-func runDelivery(dl Delivery) (err error) {
+// the whole process, so it is converted to an error, counted, and
+// reported as panicked so the lane's recovered-panic counter can tell
+// crashes apart from ordinary action errors.
+func runDelivery(dl Delivery) (panicked bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("dispatch: action for trigger %s panicked: %v", dl.Trigger, r)
+			panicked = true
 		}
 	}()
-	return dl.Run()
+	return false, dl.Run()
 }
 
 // Drain blocks until every queued delivery has completed and no delivery

@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+	h.ObserveN(42)
+	h.Since(time.Now())
+	var s *Span
+	s.SetAttr("k", "v")
+	s.End()
+	if s.Child("x") != nil {
+		t.Fatal("nil span child must be nil")
+	}
+	if s.Render() != "" || s.Duration() != 0 || s.Ended() || s.Children() != nil {
+		t.Fatal("nil span accessors")
+	}
+	var r *Registry
+	if r.Counter("a") != nil || r.Gauge("b") != nil || r.Histogram("c", nil) != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	r.Func("f", func() int64 { return 1 })
+	r.GaugeFunc("g", func() int64 { return 1 })
+	r.Emit("e", nil)
+	r.OnEvent(nil)
+	if r.StartSpan("tx") != nil {
+		t.Fatal("nil registry span")
+	}
+	if ev := r.Events(); ev != nil {
+		t.Fatal("nil registry events")
+	}
+	if sp := r.FinishedSpans(); sp != nil {
+		t.Fatal("nil registry spans")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+// TestHistogramBuckets pins the bucket-selection rule: a value lands in
+// the first bucket whose upper bound covers it, a value exactly equal to
+// a bound lands in that bound's bucket (le semantics), and values above
+// the last bound land in the overflow bucket.
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]int64{10, 100, 1000})
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {1, 0}, {9, 0},
+		{10, 0}, // exactly on the first bound: le semantics
+		{11, 1}, {100, 1},
+		{101, 2}, {1000, 2},
+		{1001, 3}, {1 << 40, 3}, // overflow
+	}
+	for _, c := range cases {
+		before := h.buckets[c.bucket].Load()
+		h.ObserveN(c.v)
+		if got := h.buckets[c.bucket].Load(); got != before+1 {
+			t.Errorf("ObserveN(%d): bucket %d not incremented", c.v, c.bucket)
+		}
+	}
+	s := h.snapshot()
+	if s.Count != int64(len(cases)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(cases))
+	}
+	var sum int64
+	for _, c := range cases {
+		sum += c.v
+	}
+	if s.Sum != sum {
+		t.Fatalf("sum = %d, want %d", s.Sum, sum)
+	}
+	if len(s.Buckets) != len(s.Bounds)+1 {
+		t.Fatalf("want %d buckets (bounds + overflow), got %d", len(s.Bounds)+1, len(s.Buckets))
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	h := newHistogram([]int64{100, 10, 1000})
+	h.ObserveN(5)
+	if h.buckets[0].Load() != 1 {
+		t.Fatal("bounds were not sorted at creation")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := New()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("Counter must return the same handle for the same name")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Fatal("Gauge must return the same handle for the same name")
+	}
+	h1 := r.Histogram("h", []int64{1, 2})
+	h2 := r.Histogram("h", []int64{99}) // later bounds ignored
+	if h1 != h2 || len(h2.bounds) != 2 {
+		t.Fatal("Histogram must keep first-registration bounds")
+	}
+}
+
+func TestSnapshotMergesFuncCollectors(t *testing.T) {
+	r := New()
+	r.Counter("direct").Add(7)
+	r.Func("collected_total", func() int64 { return 41 })
+	r.GaugeFunc("depth", func() int64 { return 13 })
+	s := r.Snapshot()
+	if s.Counters["direct"] != 7 || s.Counters["collected_total"] != 41 {
+		t.Fatalf("counters = %v", s.Counters)
+	}
+	if s.Gauges["depth"] != 13 {
+		t.Fatalf("gauges = %v", s.Gauges)
+	}
+}
+
+// TestConcurrentRecording hammers every recording surface from many
+// goroutines while snapshots are taken; run under -race this proves the
+// recording paths are race-clean.
+func TestConcurrentRecording(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", nil)
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.ObserveN(int64(i))
+				if i%100 == 0 {
+					r.Emit("tick", map[string]string{"w": fmt.Sprint(w)})
+					sp := r.StartSpan("tx")
+					sp.Child("prepare").End()
+					sp.End()
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				r.Snapshot()
+				r.FinishedSpans()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	s := r.Snapshot()
+	if s.Counters["c"] != workers*iters {
+		t.Fatalf("counter = %d, want %d", s.Counters["c"], workers*iters)
+	}
+	if s.Histograms["h"].Count != workers*iters {
+		t.Fatalf("hist count = %d, want %d", s.Histograms["h"].Count, workers*iters)
+	}
+}
+
+func TestEventRingWrap(t *testing.T) {
+	r := New()
+	total := eventRingSize + 50
+	for i := 0; i < total; i++ {
+		r.Emit("e", map[string]string{"i": fmt.Sprint(i)})
+	}
+	evs := r.Events()
+	if len(evs) != eventRingSize {
+		t.Fatalf("len = %d, want %d", len(evs), eventRingSize)
+	}
+	if evs[0].Fields["i"] != fmt.Sprint(total-eventRingSize) {
+		t.Fatalf("oldest retained = %s", evs[0].Fields["i"])
+	}
+	if evs[len(evs)-1].Fields["i"] != fmt.Sprint(total-1) {
+		t.Fatalf("newest retained = %s", evs[len(evs)-1].Fields["i"])
+	}
+}
+
+func TestEventHook(t *testing.T) {
+	r := New()
+	var got []string
+	r.OnEvent(func(ev Event) { got = append(got, ev.Kind) })
+	r.Emit("a", nil)
+	r.Emit("b", nil)
+	r.OnEvent(nil)
+	r.Emit("c", nil)
+	if strings.Join(got, ",") != "a,b" {
+		t.Fatalf("hook saw %v", got)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	r := New()
+	tx := r.StartSpan("tx")
+	tx.SetAttr("shards", "2")
+	prep := tx.Child("prepare")
+	eval := prep.Child("eval")
+	eval.End()
+	prep.End()
+	commit := tx.Child("commit")
+	// leave commit open: root End must close it
+	tx.End()
+	if !commit.Ended() {
+		t.Fatal("root End must close open descendants")
+	}
+	tx.End() // idempotent
+	fin := r.FinishedSpans()
+	if len(fin) != 1 {
+		t.Fatalf("finished = %d", len(fin))
+	}
+	kids := fin[0].Children()
+	if len(kids) != 2 || kids[0].Name != "prepare" || kids[1].Name != "commit" {
+		t.Fatalf("children = %v", kids)
+	}
+	out := fin[0].Render()
+	for _, want := range []string{"tx ", "shards=2", "\n  prepare", "\n    eval", "\n  commit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanChildEndOnlyDoesNotRetain(t *testing.T) {
+	r := New()
+	tx := r.StartSpan("tx")
+	tx.Child("prepare").End()
+	if n := len(r.FinishedSpans()); n != 0 {
+		t.Fatalf("child End retained %d roots", n)
+	}
+	tx.End()
+	if n := len(r.FinishedSpans()); n != 1 {
+		t.Fatalf("root End retained %d roots", n)
+	}
+}
+
+func TestSpanRingWrap(t *testing.T) {
+	r := New()
+	total := spanRingSize + 10
+	for i := 0; i < total; i++ {
+		sp := r.StartSpan("tx")
+		sp.SetAttr("i", fmt.Sprint(i))
+		sp.End()
+	}
+	fin := r.FinishedSpans()
+	if len(fin) != spanRingSize {
+		t.Fatalf("len = %d, want %d", len(fin), spanRingSize)
+	}
+	if fin[0].Attrs["i"] != fmt.Sprint(total-spanRingSize) {
+		t.Fatalf("oldest retained = %s", fin[0].Attrs["i"])
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("quark_core_fires_total").Add(3)
+	r.Gauge("quark_dispatch_queue_depth").Set(5)
+	h := r.Histogram("quark_core_fire_ns", []int64{10, 100})
+	h.ObserveN(7)   // bucket le=10
+	h.ObserveN(50)  // bucket le=100
+	h.ObserveN(999) // overflow
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE quark_core_fires_total counter\nquark_core_fires_total 3\n",
+		"# TYPE quark_dispatch_queue_depth gauge\nquark_dispatch_queue_depth 5\n",
+		"# TYPE quark_core_fire_ns histogram\n",
+		`quark_core_fire_ns_bucket{le="10"} 1`,
+		`quark_core_fire_ns_bucket{le="100"} 2`, // cumulative
+		`quark_core_fire_ns_bucket{le="+Inf"} 3`,
+		"quark_core_fire_ns_sum 1056",
+		"quark_core_fire_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram(DefaultLatencyBounds)
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			h.ObserveN(i % 1_000_000)
+			i += 997
+		}
+	})
+}
+
+func BenchmarkDisabledHistogram(b *testing.B) {
+	var h *Histogram
+	for i := 0; i < b.N; i++ {
+		h.ObserveN(int64(i))
+	}
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (untyped counters/gauges plus classic _bucket/_sum/_count
+// histogram series), deterministically sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", k, k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", k, k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", k); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Buckets[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", k, strconv.FormatInt(b, 10), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			k, h.Count, k, h.Sum, k, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Server is a running debug HTTP server; Close stops it.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr is the server's bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts the debug server on addr and returns immediately.
+// Endpoints:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/snapshot      JSON: the snapshot() value if given, else the registry
+//	/debug/pprof/  the standard net/http/pprof suite
+//
+// snapshot, when non-nil, supplies the /snapshot payload — pass the
+// engine's unified Snapshot method to expose the cross-layer struct.
+func Serve(addr string, reg *Registry, snapshot func() any) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var v any
+		if snapshot != nil {
+			v = snapshot()
+		} else {
+			v = reg.Snapshot()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}

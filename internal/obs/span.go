@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed node in a transaction trace. A root span is started
+// from the registry ("tx" for a batch commit); children nest under it
+// ("prepare", "commit", "abort", "outbox-append", ...). Ending a root
+// span retains the finished tree in the registry's span ring, where
+// tests and the /snapshot endpoint can read it.
+//
+// All methods are nil-safe no-ops, so disabled tracing costs one branch.
+// A span tree is guarded by its root's mutex: children may be added and
+// ended from any goroutine.
+type Span struct {
+	Name  string
+	Attrs map[string]string
+
+	start time.Time
+	end   time.Time
+
+	children []*Span
+	root     *Span // self for roots
+	reg      *Registry
+	mu       sync.Mutex // root-only; guards the whole tree
+}
+
+// spanRingSize bounds how many finished root spans the registry keeps.
+const spanRingSize = 256
+
+type spanRing struct {
+	mu  sync.Mutex
+	buf [spanRingSize]*Span
+	n   int
+}
+
+// StartSpan opens a root span. End it to retain the finished tree.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{Name: name, start: time.Now(), reg: r}
+	s.root = s
+	return s
+}
+
+// Child opens a child span under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, root: s.root}
+	s.root.mu.Lock()
+	c.start = time.Now()
+	s.children = append(s.children, c)
+	s.root.mu.Unlock()
+	return c
+}
+
+// SetAttr attaches one key=value annotation.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.root.mu.Lock()
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 2)
+	}
+	s.Attrs[key] = val
+	s.root.mu.Unlock()
+}
+
+// End closes the span. Ending a root retains its tree in the registry's
+// finished ring; any still-open descendants are closed with it so the
+// retained tree is always fully ended. End is idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	root := s.root
+	root.mu.Lock()
+	now := time.Now()
+	first := s.end.IsZero()
+	if first {
+		s.end = now
+	}
+	if s == root && first {
+		closeOpenLocked(root, now)
+	}
+	root.mu.Unlock()
+	if s == root && first && root.reg != nil {
+		ring := &root.reg.spans
+		ring.mu.Lock()
+		ring.buf[ring.n%spanRingSize] = root
+		ring.n++
+		ring.mu.Unlock()
+	}
+}
+
+func closeOpenLocked(s *Span, now time.Time) {
+	if s.end.IsZero() {
+		s.end = now
+	}
+	for _, c := range s.children {
+		closeOpenLocked(c, now)
+	}
+}
+
+// Duration returns the span's elapsed time (0 if unfinished or nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.root.mu.Lock()
+	defer s.root.mu.Unlock()
+	if s.end.IsZero() {
+		return 0
+	}
+	return s.end.Sub(s.start)
+}
+
+// Ended reports whether the span has been closed.
+func (s *Span) Ended() bool {
+	if s == nil {
+		return false
+	}
+	s.root.mu.Lock()
+	defer s.root.mu.Unlock()
+	return !s.end.IsZero()
+}
+
+// Children returns a copy of the span's direct children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.root.mu.Lock()
+	defer s.root.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// FinishedSpans returns the retained finished root spans, oldest first.
+func (r *Registry) FinishedSpans() []*Span {
+	if r == nil {
+		return nil
+	}
+	r.spans.mu.Lock()
+	defer r.spans.mu.Unlock()
+	n := r.spans.n
+	count := n
+	if count > spanRingSize {
+		count = spanRingSize
+	}
+	out := make([]*Span, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, r.spans.buf[i%spanRingSize])
+	}
+	return out
+}
+
+// Render formats the span tree as an indented one-span-per-line trace —
+// the human-readable form the README's "how to read a commit trace"
+// section documents.
+func (s *Span) Render() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.root.mu.Lock()
+	renderLocked(&b, s, 0)
+	s.root.mu.Unlock()
+	return b.String()
+}
+
+func renderLocked(b *strings.Builder, s *Span, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	d := time.Duration(0)
+	if !s.end.IsZero() {
+		d = s.end.Sub(s.start)
+	}
+	b.WriteString(s.Name)
+	fmt.Fprintf(b, " %v", d)
+	for k, v := range s.Attrs {
+		fmt.Fprintf(b, " %s=%s", k, v)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.children {
+		renderLocked(b, c, depth+1)
+	}
+}

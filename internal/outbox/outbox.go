@@ -34,7 +34,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"quark/internal/obs"
 	"quark/internal/wire"
 )
 
@@ -64,6 +67,10 @@ type Options struct {
 	// disk footprint of a long-running engine without manual Compact
 	// calls. 0 (the default) keeps compaction manual.
 	AutoCompactLag uint64
+	// Obs, when non-nil, attaches observability from the first moment of
+	// Open — recovery-time transitions (torn-tail truncation) emit events
+	// that a post-open AttachObs would miss.
+	Obs *obs.Registry
 }
 
 // Stats is a snapshot of the log's counters.
@@ -73,6 +80,7 @@ type Stats struct {
 	NextSeq     uint64 // sequence the next append will receive
 	Segments    int    // segment files on disk
 	DeadLetters int64  // records currently quarantined in the dead-letter file
+	DiskBytes   int64  // on-disk footprint: every segment file plus dead.log
 }
 
 const (
@@ -90,19 +98,57 @@ type Log struct {
 	dir  string
 	opts Options
 
-	mu       sync.Mutex
-	seg      *os.File // active segment (append mode)
-	segSize  int64
-	segs     []uint64 // first seq of every segment, ascending
-	nextSeq  uint64
-	acked    uint64          // contiguous watermark: all seq <= acked are done
-	pending  map[uint64]bool // acked out of order, still above the watermark
-	failures map[uint64]int  // per-record delivery failures (dead-letter budget)
-	deadF    *os.File        // dead-letter file (append mode), opened lazily
-	dead     int64           // records in the dead-letter file
-	ackF     *os.File
-	appended int64
-	closed   bool
+	mu        sync.Mutex
+	seg       *os.File // active segment (append mode)
+	segSize   int64
+	segs      []uint64         // first seq of every segment, ascending
+	segBytes  map[uint64]int64 // per-segment on-disk size (first seq -> bytes)
+	deadBytes int64            // dead.log on-disk size
+	nextSeq   uint64
+	acked     uint64          // contiguous watermark: all seq <= acked are done
+	pending   map[uint64]bool // acked out of order, still above the watermark
+	failures  map[uint64]int  // per-record delivery failures (dead-letter budget)
+	deadF     *os.File        // dead-letter file (append mode), opened lazily
+	dead      int64           // records in the dead-letter file
+	ackF      *os.File
+	appended  int64
+	closed    bool
+
+	// om, when non-nil, holds resolved metric handles plus the registry
+	// for event emission (see AttachObs). Nil is the disabled fast path.
+	om atomic.Pointer[logObs]
+}
+
+// logObs is the resolved metric-handle set for one Log.
+type logObs struct {
+	reg      *obs.Registry
+	append   *obs.Histogram // quark_outbox_append_ns: frame write (+fsync) latency
+	fsync    *obs.Histogram // quark_outbox_fsync_ns: fsync alone
+	replayed *obs.Counter   // quark_outbox_replayed_total: records re-driven by Replay
+}
+
+// AttachObs resolves the log's latency histograms, registers snapshot
+// collectors for its counters, and starts emitting structured events
+// (dead-letter quarantine, redrive, torn-tail truncation at Open when
+// attached via Options.Obs). AttachObs(nil) detaches the hot-path
+// handles and silences events.
+func (l *Log) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		l.om.Store(nil)
+		return
+	}
+	l.om.Store(&logObs{
+		reg:      reg,
+		append:   reg.Histogram("quark_outbox_append_ns", nil),
+		fsync:    reg.Histogram("quark_outbox_fsync_ns", nil),
+		replayed: reg.Counter("quark_outbox_replayed_total"),
+	})
+	reg.Func("quark_outbox_appended_total", func() int64 { return l.Stats().Appended })
+	reg.GaugeFunc("quark_outbox_acked", func() int64 { return int64(l.Stats().Acked) })
+	reg.GaugeFunc("quark_outbox_next_seq", func() int64 { return int64(l.Stats().NextSeq) })
+	reg.GaugeFunc("quark_outbox_segments", func() int64 { return int64(l.Stats().Segments) })
+	reg.GaugeFunc("quark_outbox_dead_letters", func() int64 { return l.Stats().DeadLetters })
+	reg.GaugeFunc("quark_outbox_disk_bytes", func() int64 { return l.Stats().DiskBytes })
 }
 
 // Open creates or re-opens the log directory, scanning existing segments
@@ -115,7 +161,10 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts, nextSeq: 1, pending: map[uint64]bool{}, failures: map[uint64]int{}}
+	l := &Log{dir: dir, opts: opts, nextSeq: 1, pending: map[uint64]bool{}, failures: map[uint64]int{}, segBytes: map[uint64]int64{}}
+	if opts.Obs != nil {
+		l.AttachObs(opts.Obs)
+	}
 	if err := l.loadAck(); err != nil {
 		return nil, err
 	}
@@ -128,10 +177,19 @@ func Open(dir string, opts Options) (*Log, error) {
 	// Count existing dead-letter records (the file survives restarts; a
 	// torn tail there truncates exactly like a segment's).
 	if dn, validBytes, err := scanSegmentFile(filepath.Join(dir, deadFileName)); err == nil {
-		if err := truncateTo(filepath.Join(dir, deadFileName), validBytes); err != nil {
+		dropped, err := truncateTo(filepath.Join(dir, deadFileName), validBytes)
+		if err != nil {
 			return nil, err
 		}
+		if dropped > 0 {
+			if m := l.om.Load(); m != nil {
+				m.reg.Emit("outbox.torn_tail_truncate", map[string]string{
+					"file": deadFileName, "dropped_bytes": strconv.FormatInt(dropped, 10),
+				})
+			}
+		}
 		l.dead = int64(dn)
+		l.deadBytes = validBytes
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
@@ -195,11 +253,21 @@ func (l *Log) scanSegments() error {
 			return fmt.Errorf("outbox: segment %d does not continue sequence %d", first, l.nextSeq)
 		}
 		l.nextSeq = first + n
+		l.segBytes[first] = validBytes
 		if last {
 			// Truncate a torn tail so the next append starts on a clean
 			// frame boundary.
-			if err := truncateTo(l.segPath(first), validBytes); err != nil {
+			dropped, err := truncateTo(l.segPath(first), validBytes)
+			if err != nil {
 				return err
+			}
+			if dropped > 0 {
+				if m := l.om.Load(); m != nil {
+					m.reg.Emit("outbox.torn_tail_truncate", map[string]string{
+						"file":          fmt.Sprintf("%s%016d%s", segPrefix, first, segSuffix),
+						"dropped_bytes": strconv.FormatInt(dropped, 10),
+					})
+				}
 			}
 			f, err := os.OpenFile(l.segPath(first), os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
@@ -273,15 +341,17 @@ func scanSegmentFile(path string) (records uint64, validBytes int64, err error) 
 	return records, validBytes, nil
 }
 
-func truncateTo(path string, size int64) error {
+// truncateTo trims the file to size, reporting how many torn-tail bytes
+// were dropped (0 when the file was already clean).
+func truncateTo(path string, size int64) (dropped int64, err error) {
 	fi, err := os.Stat(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if fi.Size() == size {
-		return nil
+		return 0, nil
 	}
-	return os.Truncate(path, size)
+	return fi.Size() - size, os.Truncate(path, size)
 }
 
 // encodeFrame renders one record's length+CRC frame.
@@ -346,6 +416,11 @@ func (l *Log) readyLocked() error {
 // (whose Seq fields are assigned from l.nextSeq onward) and advances the
 // sequence space, returning the first sequence.
 func (l *Log) writeFramesLocked(buf []byte, n uint64) (uint64, error) {
+	m := l.om.Load()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	first := l.nextSeq
 	if _, err := l.seg.Write(buf); err != nil {
 		// A partial write leaves torn bytes that would hide every later
@@ -362,14 +437,27 @@ func (l *Log) writeFramesLocked(buf []byte, n uint64) (uint64, error) {
 		return 0, err
 	}
 	if l.opts.Sync {
+		var fsyncStart time.Time
+		if m != nil {
+			fsyncStart = time.Now()
+		}
 		if err := l.seg.Sync(); err != nil {
 			return 0, err
 		}
+		if m != nil {
+			m.fsync.Since(fsyncStart)
+		}
 	}
 	l.segSize += int64(len(buf))
+	if len(l.segs) > 0 {
+		l.segBytes[l.segs[len(l.segs)-1]] = l.segSize
+	}
 	l.nextSeq += n
 	l.appended += int64(n)
 	l.maybeAutoCompactLocked()
+	if m != nil {
+		m.append.Since(start)
+	}
 	return first, nil
 }
 
@@ -403,6 +491,7 @@ func (l *Log) rotateLocked() error {
 	l.seg = f
 	l.segSize = 0
 	l.segs = append(l.segs, first)
+	l.segBytes[first] = 0
 	return nil
 }
 
@@ -477,6 +566,12 @@ func (l *Log) NoteFailure(rec *wire.Record) (deadLettered bool, err error) {
 	}
 	delete(l.failures, rec.Seq)
 	l.dead++
+	if m := l.om.Load(); m != nil {
+		m.reg.Emit("outbox.dead_letter", map[string]string{
+			"seq":     strconv.FormatUint(rec.Seq, 10),
+			"trigger": rec.Trigger,
+		})
+	}
 	if err := l.persistFailuresLocked(); err != nil {
 		return true, err
 	}
@@ -553,9 +648,11 @@ func (l *Log) appendDeadLocked(rec *wire.Record) error {
 		}
 		l.deadF = f
 	}
-	if _, err := l.deadF.Write(encodeFrame(rec)); err != nil {
+	frame := encodeFrame(rec)
+	if _, err := l.deadF.Write(frame); err != nil {
 		return err
 	}
+	l.deadBytes += int64(len(frame))
 	if l.opts.Sync {
 		return l.deadF.Sync()
 	}
@@ -628,6 +725,12 @@ func (l *Log) Redrive(sink Sink) (redelivered int, err error) {
 	if werr := l.rewriteDeadLocked(keep); werr != nil && sinkErr == nil {
 		sinkErr = werr
 	}
+	if m := l.om.Load(); m != nil {
+		m.reg.Emit("outbox.redrive", map[string]string{
+			"redelivered": strconv.Itoa(redelivered),
+			"remaining":   strconv.Itoa(len(keep)),
+		})
+	}
 	return redelivered, sinkErr
 }
 
@@ -644,6 +747,7 @@ func (l *Log) rewriteDeadLocked(keep []*wire.Record) error {
 			return err
 		}
 		l.dead = 0
+		l.deadBytes = 0
 		return nil
 	}
 	var buf []byte
@@ -658,6 +762,7 @@ func (l *Log) rewriteDeadLocked(keep []*wire.Record) error {
 		return err
 	}
 	l.dead = int64(len(keep))
+	l.deadBytes = int64(len(buf))
 	return nil
 }
 
@@ -699,7 +804,11 @@ func (l *Log) NextSeq() uint64 {
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return Stats{Appended: l.appended, Acked: l.acked, NextSeq: l.nextSeq, Segments: len(l.segs), DeadLetters: l.dead}
+	disk := l.deadBytes
+	for _, b := range l.segBytes {
+		disk += b
+	}
+	return Stats{Appended: l.appended, Acked: l.acked, NextSeq: l.nextSeq, Segments: len(l.segs), DeadLetters: l.dead, DiskBytes: disk}
 }
 
 // Records reads back every record with seq >= from, in sequence order,
@@ -786,6 +895,9 @@ func (l *Log) Replay(sink Sink) (int, error) {
 			return fmt.Errorf("outbox: replay of record %d (trigger %s): %w", rec.Seq, rec.Trigger, err)
 		}
 		delivered++
+		if m := l.om.Load(); m != nil {
+			m.replayed.Inc()
+		}
 		return l.Ack(rec.Seq)
 	})
 	return delivered, err
@@ -810,6 +922,7 @@ func (l *Log) compactLocked() (removed int, err error) {
 		if err := os.Remove(l.segPath(l.segs[0])); err != nil {
 			return removed, err
 		}
+		delete(l.segBytes, l.segs[0])
 		l.segs = l.segs[1:]
 		removed++
 	}

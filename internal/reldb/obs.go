@@ -1,0 +1,34 @@
+package reldb
+
+import (
+	"quark/internal/obs"
+)
+
+// dbObs is the resolved metric-handle set for one DB. It hangs off the
+// DB behind an atomic pointer: a nil pointer is the disabled fast path
+// (one load + branch per statement, no clock reads), so attaching
+// observability never slows an unobserved database.
+type dbObs struct {
+	stmt      *obs.Histogram // quark_reldb_stmt_ns: single-statement apply+fire latency
+	txPrepare *obs.Histogram // quark_reldb_tx_prepare_ns: net-delta computation + staging fire
+	txCommit  *obs.Histogram // quark_reldb_tx_commit_ns: staged-delivery drain
+}
+
+// AttachObs resolves this DB's latency histograms from the registry and
+// starts recording. Multiple DBs (the shards of a fleet) may attach to
+// one registry: they share the same named series, so the histograms
+// aggregate fleet-wide. Counter-style stats (statements, trigger fires,
+// scans, index hits) are NOT registered here — they are exported by the
+// layer that knows the fleet, via Stats() func collectors — so per-shard
+// registrations can never shadow each other. Attach(nil) detaches.
+func (db *DB) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		db.obs.Store(nil)
+		return
+	}
+	db.obs.Store(&dbObs{
+		stmt:      reg.Histogram("quark_reldb_stmt_ns", nil),
+		txPrepare: reg.Histogram("quark_reldb_tx_prepare_ns", nil),
+		txCommit:  reg.Histogram("quark_reldb_tx_commit_ns", nil),
+	})
+}

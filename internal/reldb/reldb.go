@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"quark/internal/schema"
 	"quark/internal/xdm"
@@ -121,6 +122,9 @@ type BatchInfo struct {
 	// cross-plan activation dedup) needs no locking and lives exactly as
 	// long as the commit that created it.
 	EngineState any
+	// Obs is the opaque observability token set via Tx.SetObsToken (the
+	// engine's prepare-phase trace span); reldb never inspects it.
+	Obs any
 }
 
 // SQLTrigger is a statement-level AFTER trigger. Body is the compiled
@@ -208,6 +212,10 @@ type DB struct {
 	// number of in-flight firings — informational only; the cascade
 	// LIMIT uses the per-table counters, which concurrency cannot trip.
 	nesting atomic.Int32
+	// obs, when non-nil, holds resolved latency-histogram handles (see
+	// AttachObs). Nil means disabled: statement paths pay one atomic load
+	// and a branch, never a clock read.
+	obs atomic.Pointer[dbObs]
 }
 
 // Open creates an empty database for the schema. Primary-key columns of
@@ -484,6 +492,9 @@ func (db *DB) applyInsert(table string, rows []Row) (*tableData, []keyedRow, err
 // our translated bodies — and the paper's — have nothing to detect in an
 // empty Δ, so the firing would be pure overhead).
 func (db *DB) Insert(table string, rows ...Row) error {
+	if m := db.obs.Load(); m != nil {
+		defer m.stmt.Since(time.Now())
+	}
 	_, inserted, err := db.applyInsert(table, rows)
 	if err != nil {
 		return err
@@ -530,6 +541,9 @@ func (db *DB) applyDelete(table string, pred func(Row) bool) ([]keyedRow, error)
 // Delete removes all rows matching pred as one statement and fires AFTER
 // DELETE triggers with ∇table = removed rows. Returns the removed count.
 func (db *DB) Delete(table string, pred func(Row) bool) (int, error) {
+	if m := db.obs.Load(); m != nil {
+		defer m.stmt.Since(time.Now())
+	}
 	removed, err := db.applyDelete(table, pred)
 	if err != nil {
 		return 0, err
@@ -562,6 +576,9 @@ func (db *DB) applyDeleteByPK(table string, key []xdm.Value) (*keyedRow, error) 
 
 // DeleteByPK removes the row with the given primary key, if present.
 func (db *DB) DeleteByPK(table string, key ...xdm.Value) (bool, error) {
+	if m := db.obs.Load(); m != nil {
+		defer m.stmt.Since(time.Now())
+	}
 	kr, err := db.applyDeleteByPK(table, key)
 	if err != nil || kr == nil {
 		return false, err
@@ -635,6 +652,9 @@ func (db *DB) applyUpdate(table string, pred func(Row) bool, set func(Row) Row) 
 // set must return a full replacement row (it may mutate the copy it is
 // given). Primary-key changes are permitted if they do not collide.
 func (db *DB) Update(table string, pred func(Row) bool, set func(Row) Row) (int, error) {
+	if m := db.obs.Load(); m != nil {
+		defer m.stmt.Since(time.Now())
+	}
 	changes, err := db.applyUpdate(table, pred, set)
 	if err != nil {
 		return 0, err
@@ -685,6 +705,9 @@ func (db *DB) applyUpdateByPK(table string, key []xdm.Value, set func(Row) Row) 
 
 // UpdateByPK rewrites the single row with the given primary key.
 func (db *DB) UpdateByPK(table string, key []xdm.Value, set func(Row) Row) (bool, error) {
+	if m := db.obs.Load(); m != nil {
+		defer m.stmt.Since(time.Now())
+	}
 	c, err := db.applyUpdateByPK(table, key, set)
 	if err != nil || c == nil {
 		return false, err

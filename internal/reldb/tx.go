@@ -3,6 +3,7 @@ package reldb
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"quark/internal/xdm"
 )
@@ -63,7 +64,14 @@ type Tx struct {
 	staged   []func() error
 	batch    *BatchInfo
 	silent   bool
+	obsTok   any
 }
+
+// SetObsToken attaches an opaque observability token that Prepare copies
+// onto the firing wave's BatchInfo (see BatchInfo.Obs). The translation
+// layer uses it to nest trigger-evaluation trace spans under the
+// transaction's prepare phase; reldb itself never looks inside.
+func (tx *Tx) SetObsToken(v any) { tx.obsTok = v }
 
 // SetSilent marks the transaction as a silent data movement: its firing
 // wave carries BatchInfo.Silent, telling trigger bodies to refresh any
@@ -392,6 +400,9 @@ func (tx *Tx) Prepare() error {
 	if tx.prepared {
 		return nil
 	}
+	if m := tx.db.obs.Load(); m != nil {
+		defer m.txPrepare.Since(time.Now())
+	}
 	if err := tx.prepare(); err != nil {
 		tx.prepErr = err
 		return err
@@ -402,7 +413,7 @@ func (tx *Tx) Prepare() error {
 func (tx *Tx) prepare() error {
 	tables := append([]string(nil), tx.order...)
 	sort.Strings(tables)
-	batch := &BatchInfo{Seq: tx.db.batchSeq.Add(1), Deltas: map[string]*NetDelta{}, Silent: tx.silent}
+	batch := &BatchInfo{Seq: tx.db.batchSeq.Add(1), Deltas: map[string]*NetDelta{}, Silent: tx.silent, Obs: tx.obsTok}
 	nets := make(map[string]netChange, len(tables))
 	for _, t := range tables {
 		nc := tx.net(t)
@@ -477,6 +488,9 @@ func (tx *Tx) Commit() error {
 		}
 	}
 	tx.done = true
+	if m := tx.db.obs.Load(); m != nil {
+		defer m.txCommit.Since(time.Now())
+	}
 	for _, deliver := range tx.staged {
 		if err := deliver(); err != nil {
 			return err

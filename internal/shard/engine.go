@@ -2,7 +2,9 @@ package shard
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"quark/internal/core"
 	"quark/internal/dispatch"
@@ -70,6 +72,10 @@ type Engine struct {
 	trigSpecs []*trigger.Spec
 
 	store *DirStore // nil: in-memory directory only
+
+	// om, when non-nil, holds the fleet's resolved metric handles (see
+	// EnableObs). Nil is the disabled fast path.
+	om atomic.Pointer[shardObs]
 
 	// rebalanceBarrier, when set, runs between a rebalance transaction's
 	// prepare-all and commit-all phases (the kill-mid-rebalance tests'
@@ -443,6 +449,9 @@ func (e *Engine) Insert(table string, rows ...reldb.Row) error {
 			return tx.Insert(table, rows...)
 		})
 	}
+	if m := e.om.Load(); m != nil {
+		m.routedStmt.Inc()
+	}
 	for si := range engines {
 		g := groups[si]
 		if len(g) == 0 {
@@ -513,6 +522,9 @@ func (e *Engine) UpdateByPK(table string, key []xdm.Value, set func(reldb.Row) r
 		}
 	}
 	if newOwner == owner {
+		if m := e.om.Load(); m != nil {
+			m.routedStmt.Inc()
+		}
 		changed, err := engines[owner].UpdateByPK(table, key, set)
 		applied := changed && err == nil
 		if err != nil {
@@ -588,6 +600,9 @@ func (e *Engine) DeleteByPK(table string, key ...xdm.Value) (bool, error) {
 	if !ok {
 		return false, nil
 	}
+	if m := e.om.Load(); m != nil {
+		m.routedStmt.Inc()
+	}
 	removed, err := engines[owner].DeleteByPK(table, key...)
 	if err == nil && removed {
 		e.router.forget(table, pk)
@@ -650,7 +665,12 @@ func (e *Engine) runTxTables(tables []string, fn func(*Tx) error) error {
 func (e *Engine) beginAll(tables []string) (*Tx, error) {
 	engines, dbs := e.fleet()
 	tx := &Tx{e: e, dbs: dbs, ov: newDirOps()}
-	for _, ce := range engines {
+	if m := e.om.Load(); m != nil {
+		m.distStmt.Inc()
+		tx.span = m.reg.StartSpan("tx")
+		tx.span.SetAttr("shards", strconv.Itoa(len(engines)))
+	}
+	for i, ce := range engines {
 		var h *core.BatchHandle
 		var err error
 		if tables == nil {
@@ -662,7 +682,17 @@ func (e *Engine) beginAll(tables []string) (*Tx, error) {
 			for _, open := range tx.hs {
 				_ = open.Rollback()
 			}
+			tx.span.End()
 			return nil, err
+		}
+		if tx.span != nil {
+			// Replace the per-shard root the core handle opened with a
+			// child of the fleet root, so the whole distributed commit —
+			// every shard's prepare, trigger evaluation, commit, group
+			// append — retains as ONE trace tree.
+			sp := tx.span.Child("shard")
+			sp.SetAttr("shard", strconv.Itoa(i))
+			h.AttachSpan(sp)
 		}
 		tx.hs = append(tx.hs, h)
 	}

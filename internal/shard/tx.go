@@ -2,8 +2,10 @@ package shard
 
 import (
 	"fmt"
+	"time"
 
 	"quark/internal/core"
+	"quark/internal/obs"
 	"quark/internal/reldb"
 	"quark/internal/xdm"
 )
@@ -20,6 +22,10 @@ type Tx struct {
 	dbs []*reldb.DB // fleet snapshot taken at begin (see Engine.fleet)
 	hs  []*core.BatchHandle
 	ov  *dirOps
+	// span is the distributed transaction's fleet-root trace span,
+	// non-nil only with observability attached (each per-shard handle
+	// traces into a "shard" child; see Engine.beginAll).
+	span *obs.Span
 	// barrier, when set, runs between prepare-all and commit-all (the
 	// rebalance crash tests' seam; see Engine.SetRebalanceBarrier).
 	barrier func()
@@ -297,14 +303,26 @@ func (tx *Tx) migrate(from, to int, rt *route, oldRow, newRow reldb.Row) error {
 // contract both demand it), the full overlay folds, and the first error
 // surfaces to the caller.
 func (tx *Tx) commit() error {
+	m := tx.e.om.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	for si, h := range tx.hs {
 		if err := h.Prepare(); err != nil {
 			tx.rollback()
 			return fmt.Errorf("shard %d prepare: %w", si, err)
 		}
 	}
+	if m != nil {
+		m.prepare.Since(t0)
+	}
 	if tx.barrier != nil {
 		tx.barrier()
+	}
+	var t1 time.Time
+	if m != nil {
+		t1 = time.Now()
 	}
 	var firstErr error
 	for si, h := range tx.hs {
@@ -313,6 +331,10 @@ func (tx *Tx) commit() error {
 		}
 	}
 	tx.e.router.commit(tx.ov)
+	if m != nil {
+		m.commit.Since(t1)
+	}
+	tx.span.End()
 	return firstErr
 }
 
@@ -321,6 +343,8 @@ func (tx *Tx) rollback() {
 	for _, h := range tx.hs {
 		_ = h.Rollback()
 	}
+	tx.span.SetAttr("aborted", "true")
+	tx.span.End()
 }
 
 // pkVals extracts the row's primary-key values.
