@@ -2,6 +2,7 @@ package conformance
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
 	"strings"
@@ -68,6 +69,19 @@ type RunOpts struct {
 	// goldens: rebalancing is silent data movement, never trigger activity.
 	// Ignored on single-engine runs.
 	Rebalance bool
+	// Adaptive runs the engine with per-group translation modes enabled.
+	// ModeSeed picks the initial per-group mode mix: every trigger group is
+	// assigned an arbitrary mode (derived deterministically from the seed),
+	// so structurally different groups run translated and materialized side
+	// by side. The log must STILL come out byte-identical to the
+	// single-engine MATERIALIZED goldens — the mixed-mode equivalence claim.
+	Adaptive bool
+	ModeSeed int64
+	// ModeFlips, with Adaptive, forces one live mode switch before every
+	// unit (a seeded group/mode pick), so every scenario replays with
+	// silent mode migrations interleaved mid-stream. The log must STILL
+	// match the goldens: migration is never trigger activity.
+	ModeFlips bool
 	// AbortFirst attempts every batched begin..commit block TWICE: first
 	// with a prepare-phase failure armed on the engine (every shard of a
 	// sharded run) — the attempt must error, deliver nothing, and leave no
@@ -100,6 +114,13 @@ type runEngine interface {
 	// rehearseRebalance forces one routing-group migration (the Rebalance
 	// style's injection seam); a no-op on the single engine.
 	rehearseRebalance() error
+	// setAdaptive enables per-group modes (must run before CreateTrigger:
+	// grouping signatures depend on it), groupSigs lists the live groups,
+	// and setGroupModes runs a silent mode migration — the Adaptive and
+	// ModeFlips seams.
+	setAdaptive() error
+	groupSigs() []string
+	setGroupModes(target map[string]core.Mode) error
 }
 
 // coreRun adapts one core.Engine (initial data loads straight into the
@@ -144,6 +165,12 @@ func (r coreRun) armPrepareFail(err error) {
 }
 func (r coreRun) disarmPrepareFail()       { r.e.SetPrepareCheck(nil) }
 func (r coreRun) rehearseRebalance() error { return nil }
+func (r coreRun) setAdaptive() error       { return r.e.SetModePolicy(nil) }
+func (r coreRun) groupSigs() []string      { return r.e.GroupSigs() }
+func (r coreRun) setGroupModes(target map[string]core.Mode) error {
+	_, err := r.e.SetGroupModes(target)
+	return err
+}
 
 // shardRun adapts a sharded engine; initial data routes through the
 // shard layer so the directory knows every row.
@@ -206,6 +233,13 @@ func (r shardRun) rehearseRebalance() error {
 	return err
 }
 
+func (r shardRun) setAdaptive() error  { return r.e.SetModePolicy(nil) }
+func (r shardRun) groupSigs() []string { return r.e.GroupSigs() }
+func (r shardRun) setGroupModes(target map[string]core.Mode) error {
+	_, err := r.e.SetGroupModes(target)
+	return err
+}
+
 // RunStyle executes the scenario's script in the given translation mode
 // and style; see Run.
 func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
@@ -224,6 +258,12 @@ func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
 			return "", err
 		}
 		e = coreRun{core.NewEngine(db, mode), db}
+	}
+	if opts.Adaptive {
+		// Before any trigger registration: signatures depend on the flag.
+		if err := e.setAdaptive(); err != nil {
+			return "", err
+		}
 	}
 	for _, dr := range sc.Data {
 		if err := e.LoadRow(dr.Table, dr.Row); err != nil {
@@ -283,6 +323,21 @@ func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
 	if err := e.Flush(); err != nil {
 		return "", err
 	}
+	var modeRng *rand.Rand
+	if opts.Adaptive {
+		// Arbitrary initial per-group mode mix, derived from the seed; the
+		// same seed always deals the same mix.
+		modeRng = rand.New(rand.NewSource(opts.ModeSeed))
+		target := map[string]core.Mode{}
+		for _, sig := range e.groupSigs() {
+			target[sig] = core.Mode(modeRng.Intn(4))
+		}
+		if len(target) > 0 {
+			if err := e.setGroupModes(target); err != nil {
+				return "", fmt.Errorf("initial mode mix: %w", err)
+			}
+		}
+	}
 
 	var out strings.Builder
 	lastSeq := uint64(1) // first log sequence not yet attributed to a unit
@@ -321,6 +376,16 @@ func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
 			// then proves the movement left no observable trace.
 			if err := e.rehearseRebalance(); err != nil {
 				return "", fmt.Errorf("rebalance rehearsal: %w", err)
+			}
+		}
+		if opts.Adaptive && opts.ModeFlips {
+			// One forced mode switch before every unit — a mid-stream
+			// re-plan whose invisibility the unit's own log then proves.
+			if sigs := e.groupSigs(); len(sigs) > 0 {
+				sig := sigs[modeRng.Intn(len(sigs))]
+				if err := e.setGroupModes(map[string]core.Mode{sig: core.Mode(modeRng.Intn(4))}); err != nil {
+					return "", fmt.Errorf("mode flip rehearsal: %w", err)
+				}
 			}
 		}
 		st := sc.Script[i]

@@ -101,27 +101,59 @@ func TestBatchTablesFiresAndCoalesces(t *testing.T) {
 	}
 }
 
-// TestBatchTablesUndeclaredTable: touching a table outside the declared
-// footprint fails before applying, and returning the error rolls the
-// whole batch back without firing.
-func TestBatchTablesUndeclaredTable(t *testing.T) {
+// TestBatchTablesLockEscalation: touching a table outside the declared
+// footprint no longer fails the batch — the declared attempt rolls back
+// (so its partial mutations never commit and never fire) and the batch
+// re-runs under the all-table lock. The result is exactly what Batch
+// would have produced: both updates applied, each trigger fired once.
+func TestBatchTablesLockEscalation(t *testing.T) {
 	e, firedA, firedB := newTwoMarketEngine(t, ModeGrouped)
+	attempts := 0
 	err := e.BatchTables([]string{"quoteA"}, func(tx *reldb.Tx) error {
+		attempts++
 		if _, err := tx.UpdateByPK("quoteA", []xdm.Value{xdm.Str("X1")}, setQuotePrice(11)); err != nil {
 			return err
 		}
 		_, err := tx.UpdateByPK("quoteB", []xdm.Value{xdm.Str("X1")}, setQuotePrice(11))
 		return err
 	})
-	if err == nil || !strings.Contains(err.Error(), "not declared") {
-		t.Fatalf("undeclared-table batch error = %v, want declared-tables violation", err)
+	if err != nil {
+		t.Fatalf("escalated batch failed: %v", err)
 	}
-	if firedA.Load()+firedB.Load() != 0 {
-		t.Errorf("rolled-back batch fired %d+%d notifications", firedA.Load(), firedB.Load())
+	if attempts != 2 {
+		t.Errorf("escalation ran the callback %d times, want 2 (declared attempt + retry)", attempts)
 	}
-	r, ok, _ := e.DB().GetByPK("quoteA", xdm.Str("X1"))
-	if !ok || r[1].AsFloat() != 100 {
-		t.Errorf("rollback did not restore quoteA.X1: %v", r)
+	for _, table := range []string{"quoteA", "quoteB"} {
+		r, ok, _ := e.DB().GetByPK(table, xdm.Str("X1"))
+		if !ok || r[1].AsFloat() != 11 {
+			t.Errorf("escalated batch did not apply to %s.X1: %v", table, r)
+		}
+	}
+	// Exactly one firing each: the rolled-back declared attempt must not
+	// have fired for its partial quoteA update.
+	if firedA.Load() != 1 || firedB.Load() != 1 {
+		t.Errorf("escalated batch fired %d+%d notifications, want 1+1", firedA.Load(), firedB.Load())
+	}
+	// A callback that swallows the refusal must still escalate (partial
+	// declared mutations must never commit behind the caller's back).
+	err = e.BatchTables([]string{"quoteA"}, func(tx *reldb.Tx) error {
+		if _, err := tx.UpdateByPK("quoteA", []xdm.Value{xdm.Str("X2")}, setQuotePrice(21)); err != nil {
+			return err
+		}
+		if _, err := tx.UpdateByPK("quoteB", []xdm.Value{xdm.Str("X2")}, setQuotePrice(21)); err != nil &&
+			!errors.Is(err, reldb.ErrUndeclaredTable) {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("swallowed-refusal batch failed: %v", err)
+	}
+	for _, table := range []string{"quoteA", "quoteB"} {
+		r, ok, _ := e.DB().GetByPK(table, xdm.Str("X2"))
+		if !ok || r[1].AsFloat() != 21 {
+			t.Errorf("swallowed-refusal escalation did not apply to %s.X2: %v", table, r)
+		}
 	}
 	// Unknown table names are rejected up front.
 	if err := e.BatchTables([]string{"nosuch"}, func(*reldb.Tx) error { return nil }); err == nil {

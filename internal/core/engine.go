@@ -94,6 +94,10 @@ type Stats struct {
 	Dispatch    dispatch.Stats
 	Outbox      bool
 	OutboxLog   outbox.Stats
+	// PerGroup breaks the engine down by trigger group: mode, firings,
+	// eval latency, delta sizes, and (for MATERIALIZED groups) snapshot
+	// footprint. The adaptive planner and /snapshot read the same rows.
+	PerGroup []GroupStat `json:",omitempty"`
 }
 
 // Engine ties the pipeline together over one relational database.
@@ -125,6 +129,16 @@ type Engine struct {
 	// actions is copy-on-write so trigger firings can read it without
 	// taking e.mu (firings run under table locks, not the metadata lock).
 	actions atomic.Pointer[map[string]ActionFunc]
+
+	// adaptive marks mode as a per-group property (SetModePolicy):
+	// signatures stay structural in every mode so a group's mode can
+	// change without re-grouping, and policy (possibly nil) is consulted
+	// by Replan. seedModes pre-assigns modes to groups that do not exist
+	// yet (restart adoption: the shard layer replays persisted decisions
+	// before triggers are registered).
+	adaptive  bool
+	policy    ModePolicy
+	seedModes map[string]Mode
 
 	triggers map[string]*TriggerInfo
 	groups   map[string]*group
@@ -214,9 +228,14 @@ type TriggerInfo struct {
 	groupSig string
 }
 
-// group is a set of structurally similar triggers sharing plans.
+// group is a set of structurally similar triggers sharing plans. Each
+// group carries its own translation mode: the engine-global mode only
+// seeds it, and an adaptive engine (SetModePolicy) re-picks it per group
+// at runtime — mixed modes coexist because the installed plans, not the
+// engine, decide how a firing evaluates.
 type group struct {
 	sig     string
+	mode    Mode
 	event   reldb.Event
 	view    string
 	nav     *compile.NavNode
@@ -226,6 +245,42 @@ type group struct {
 	built    bool
 	plans    []*installedPlan
 	sqlNames []string
+	// stats survive rebuilds and mode switches: the planner's cost model
+	// wants the group's history, not the current plan's.
+	stats groupStats
+}
+
+// groupStats are the always-on per-group counters behind GroupStats: the
+// planner's cost model and the /snapshot surface read the same numbers.
+// Plain atomics, recorded on the firing path without any obs registry.
+type groupStats struct {
+	fires       atomic.Int64 // plan/body evaluations
+	evalNS      atomic.Int64 // wall time spent in those evaluations
+	deltaRows   atomic.Int64 // transition rows seen across firings
+	activations atomic.Int64 // member activations delivered or staged
+	builds      atomic.Int64 // plan (re)compilations, incl. mode switches
+	snapRows    atomic.Int64 // materialized snapshot rows (0 when translated)
+	snapBytes   atomic.Int64 // rough materialized snapshot footprint
+}
+
+// groupBuild is one group's compiled-but-not-installed translation: the
+// plans plus the SQL triggers to create. Compilation is side-effect-free
+// (nothing is registered with the database until installGroup), which is
+// what makes a prepared mode switch abortable — discarding a build leaves
+// the engine byte-identical.
+type groupBuild struct {
+	mode     Mode
+	plans    []*installedPlan
+	installs []pendingTrigger
+}
+
+// pendingTrigger is one SQL trigger a groupBuild wants installed.
+type pendingTrigger struct {
+	table  string
+	event  reldb.Event
+	body   func(*reldb.FireContext) error
+	sql    string
+	prefix string // sql-trigger name prefix: "xmlTrig" or "matTrig"
 }
 
 // installedPlan is one compiled SQL-trigger body. Everything reachable
@@ -359,7 +414,7 @@ func (e *Engine) recomputeReadSets() {
 	}
 	for _, sig := range e.order {
 		g := e.groups[sig]
-		if e.mode == ModeMaterialized {
+		if g.mode == ModeMaterialized {
 			ts := xqgm.Tables(g.nav.Op)
 			for _, t := range ts {
 				add(t, ts)
@@ -919,7 +974,11 @@ func (e *Engine) CreateTriggerSpec(spec *trigger.Spec) error {
 	ti := &TriggerInfo{Spec: spec, Consts: cc.consts, groupSig: sig}
 	g, ok := e.groups[sig]
 	if !ok {
-		g = &group{sig: sig, event: spec.Event, view: spec.ViewName, nav: nav, members: map[string]*TriggerInfo{}}
+		mode := e.mode
+		if m, seeded := e.seedModes[sig]; seeded {
+			mode = m
+		}
+		g = &group{sig: sig, mode: mode, event: spec.Event, view: spec.ViewName, nav: nav, members: map[string]*TriggerInfo{}}
 		e.groups[sig] = g
 		e.order = append(e.order, sig)
 	}
@@ -1045,13 +1104,15 @@ func (e *Engine) resolvePath(spec *trigger.Spec) (*compile.NavNode, error) {
 // condition shape (literals abstracted), and action shape.
 func (e *Engine) signature(spec *trigger.Spec) string {
 	var sb strings.Builder
-	if e.mode == ModeUngrouped {
-		// UNGROUPED never shares plans: every trigger is its own group,
-		// producing one SQL trigger set per XML trigger (Section 6's
-		// UNGROUPED system).
-		sb.WriteString(spec.Name)
-		sb.WriteByte('|')
-	}
+	// Legacy engine-global UNGROUPED never shares plans: every trigger is
+	// its own group, producing one SQL trigger set per XML trigger
+	// (Section 6's UNGROUPED system). An adaptive engine instead keeps
+	// signatures structural in EVERY mode — grouping.ComposeSignature's
+	// contract — so a group's mode is a mutable property, not part of its
+	// identity, and the planner can flip it without re-grouping (a
+	// structural group in per-group UNGROUPED mode evaluates one plan per
+	// member instead).
+	perTrigger := e.mode == ModeUngrouped && !e.adaptive
 	sb.WriteString(spec.ViewName)
 	sb.WriteByte('|')
 	sb.WriteString(spec.PathString())
@@ -1065,7 +1126,7 @@ func (e *Engine) signature(spec *trigger.Spec) string {
 		sb.WriteByte(',')
 		sb.WriteString(abstractString(a))
 	}
-	return sb.String()
+	return grouping.ComposeSignature(sb.String(), perTrigger, spec.Name)
 }
 
 // abstractString renders an expression with literals replaced by "?".
@@ -1144,20 +1205,15 @@ func (e *Engine) flushLocked() error {
 		if m != nil {
 			m.planMiss.Inc()
 		}
-		for _, n := range g.sqlNames {
-			_ = e.db.DropTrigger(n)
-		}
-		g.sqlNames = nil
-		var err error
-		if e.mode == ModeMaterialized {
-			err = e.buildMaterialized(g)
-		} else {
-			err = e.buildGroup(g)
-		}
+		// Compile before dropping anything: a failed compile leaves the
+		// previous plans installed and the group still dirty.
+		b, err := e.compileGroup(g, g.mode)
 		if err != nil {
 			return fmt.Errorf("core: building trigger group %q: %w", sig, err)
 		}
-		g.built = true
+		if err := e.installGroup(g, b); err != nil {
+			return fmt.Errorf("core: installing trigger group %q: %w", sig, err)
+		}
 	}
 	e.dirtyGroups = map[string]bool{}
 	e.recomputeReadSets()
@@ -1173,9 +1229,18 @@ func allOf(names []string) map[string]bool {
 	return out
 }
 
-// buildGroup compiles and installs the plans for one trigger group.
-func (e *Engine) buildGroup(g *group) error {
-	g.plans = nil
+// compileGroup compiles one trigger group for the given mode without
+// installing anything: no SQL triggers are created, no indexes built, no
+// engine state mutated. The returned build either installs atomically
+// (installGroup, under every table's write lock) or is discarded — the
+// abort path of a prepared mode switch. Caller holds e.mu and the table
+// locks (a MATERIALIZED compile evaluates its initial snapshot).
+func (e *Engine) compileGroup(g *group, mode Mode) (*groupBuild, error) {
+	g.stats.builds.Add(1)
+	if mode == ModeMaterialized {
+		return e.compileMaterialized(g)
+	}
+	b := &groupBuild{mode: mode}
 	srcEvents := events.GetSrcEvents(e.db.Schema(), g.nav.Op, g.event)
 	tables := map[string][]reldb.Event{}
 	var tableOrder []string
@@ -1194,37 +1259,73 @@ func (e *Engine) buildGroup(g *group) error {
 		members[name] = ti
 	}
 
-	first := g.members[g.order[0]]
 	for _, table := range tableOrder {
-		plan, err := e.buildTablePlan(g, first, table)
+		plans, err := e.buildTablePlans(g, table, mode)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		plan.members = members
-		g.plans = append(g.plans, plan)
-		e.ensureIndexes(plan.root)
-		if plan.batchRoot != nil {
-			e.ensureIndexes(plan.batchRoot)
-		}
-		for _, relEv := range tables[table] {
-			e.sqlSeq++
-			name := fmt.Sprintf("xmlTrig_%d", e.sqlSeq)
-			p := plan
-			body := func(ctx *reldb.FireContext) error { return e.fire(g, p, ctx) }
-			if err := e.db.CreateTrigger(&reldb.SQLTrigger{
-				Name: name, Table: table, Event: relEv, Body: body, SQL: plan.sqlText,
-			}); err != nil {
-				return err
+		for _, plan := range plans {
+			plan.members = members
+			b.plans = append(b.plans, plan)
+			for _, relEv := range tables[table] {
+				p := plan
+				b.installs = append(b.installs, pendingTrigger{
+					table: table, event: relEv, prefix: "xmlTrig", sql: plan.sqlText,
+					body: func(ctx *reldb.FireContext) error { return e.fire(g, p, ctx) },
+				})
 			}
-			g.sqlNames = append(g.sqlNames, name)
 		}
 	}
+	return b, nil
+}
+
+// installGroup swaps a compiled build into the group: the old SQL
+// triggers drop, the new ones install, and the group adopts the build's
+// mode and plans. Runs under e.mu and every table's write lock (flush, or
+// a prepared mode switch's commit), so no statement ever observes a
+// half-installed group.
+func (e *Engine) installGroup(g *group, b *groupBuild) error {
+	for _, n := range g.sqlNames {
+		_ = e.db.DropTrigger(n)
+	}
+	g.sqlNames = nil
+	g.plans = b.plans
+	g.mode = b.mode
+	if b.mode != ModeMaterialized {
+		// Leaving MATERIALIZED: the snapshot footprint is gone with the
+		// dropped bodies.
+		g.stats.snapRows.Store(0)
+		g.stats.snapBytes.Store(0)
+	}
+	for _, p := range b.plans {
+		if p.root != nil {
+			e.ensureIndexes(p.root)
+		}
+		if p.batchRoot != nil {
+			e.ensureIndexes(p.batchRoot)
+		}
+	}
+	for _, pt := range b.installs {
+		e.sqlSeq++
+		name := fmt.Sprintf("%s_%d", pt.prefix, e.sqlSeq)
+		if err := e.db.CreateTrigger(&reldb.SQLTrigger{
+			Name: name, Table: pt.table, Event: pt.event, Body: pt.body, SQL: pt.sql,
+		}); err != nil {
+			return err
+		}
+		g.sqlNames = append(g.sqlNames, name)
+	}
+	g.built = true
 	return nil
 }
 
-// buildTablePlan builds the affected-node graph and the (grouped or
-// per-trigger) plan for one base table.
-func (e *Engine) buildTablePlan(g *group, first *TriggerInfo, table string) (*installedPlan, error) {
+// buildTablePlans builds the affected-node graph and the plans for one
+// base table: one shared plan in the grouped modes, one plan per member
+// in UNGROUPED mode (a legacy UNGROUPED engine makes every trigger its
+// own group, so the loop degenerates to the single-plan case; an adaptive
+// engine keeps structural groups and this loop IS how a multi-member
+// group runs ungrouped).
+func (e *Engine) buildTablePlans(g *group, table string, mode Mode) ([]*installedPlan, error) {
 	s := e.db.Schema()
 	opts := affected.Options{Prune: true}
 	injective := affected.InjectiveFor(g.nav.Op, table)
@@ -1240,7 +1341,10 @@ func (e *Engine) buildTablePlan(g *group, first *TriggerInfo, table string) (*in
 	}
 	layout := Layout{NewCol: an.NewCol, OldCol: an.OldCol}
 
-	// Compile the shared condition template (abstracted constants).
+	// Compile the shared condition template (abstracted constants). All
+	// members of a structural group share the abstracted condition shape,
+	// so the first member's condition is the template for every member.
+	first := g.members[g.order[0]]
 	tcc := &condCompiler{nav: g.nav, layout: layout, abstract: true}
 	var template xqgm.Expr
 	if first.Spec.Condition != nil {
@@ -1258,7 +1362,7 @@ func (e *Engine) buildTablePlan(g *group, first *TriggerInfo, table string) (*in
 	// sole change, so commits that touched several tables evaluate the
 	// plain graph instead.
 	var anPlain *affected.ANGraph
-	if e.mode == ModeGroupedAgg {
+	if mode == ModeGroupedAgg {
 		anPlain = an
 		oldContent := tcc.oldContentUsed || e.actionUsesOldContent(g, layout)
 		opts.OldAggDelta = true
@@ -1282,34 +1386,37 @@ func (e *Engine) buildTablePlan(g *group, first *TriggerInfo, table string) (*in
 		}
 	}
 
-	plan := &installedPlan{table: table, an: an, args: map[string][]xqgm.Expr{}}
-
-	if e.mode == ModeUngrouped {
-		// One plan per member (callers install one SQL trigger per member
-		// by creating one group per trigger; here a multi-member group in
-		// ungrouped mode evaluates each member's plan separately).
-		// For simplicity the ungrouped plan handles exactly one member;
-		// multi-member groups are split by the caller at trigger-creation
-		// time (signatures include the trigger name in ungrouped mode).
-		ti := first
-		var root *xqgm.Operator = an.Root
-		if template != nil {
-			bound := grouping.Bind(template, ti.Consts)
-			root = xqgm.NewSelect(an.Root, bound)
+	if mode == ModeUngrouped {
+		// One plan per member, all sharing one ANGraph per table. A legacy
+		// UNGROUPED engine makes every trigger its own group, so this loop
+		// has one iteration; an adaptive engine keeps the structural group
+		// and runs each member's plan separately — the paper's per-trigger
+		// translation as a per-group property rather than a grouping one.
+		plans := make([]*installedPlan, 0, len(g.order))
+		for _, name := range g.order {
+			ti := g.members[name]
+			var root *xqgm.Operator = an.Root
+			if template != nil {
+				bound := grouping.Bind(template, ti.Consts)
+				root = xqgm.NewSelect(an.Root, bound)
+			}
+			plan := &installedPlan{table: table, an: an, args: map[string][]xqgm.Expr{}}
+			plan.root = root
+			plan.trigIDsCol = -1
+			plan.trigID = ti.Spec.Name
+			args, err := e.compileArgs(g, ti, layout)
+			if err != nil {
+				return nil, err
+			}
+			plan.args[ti.Spec.Name] = args
+			plan.sqlText = RenderSQL(root)
+			plans = append(plans, plan)
 		}
-		plan.root = root
-		plan.trigIDsCol = -1
-		plan.trigID = ti.Spec.Name
-		args, err := e.compileArgs(g, ti, layout)
-		if err != nil {
-			return nil, err
-		}
-		plan.args[ti.Spec.Name] = args
-		plan.sqlText = RenderSQL(root)
-		return plan, nil
+		return plans, nil
 	}
 
 	// GROUPED / GROUPED-AGG: constants table + shared plan.
+	plan := &installedPlan{table: table, an: an, args: map[string][]xqgm.Expr{}}
 	gg := grouping.NewGroup(g.sig, template, len(first.Consts))
 	for _, name := range g.order {
 		ti := g.members[name]
@@ -1337,7 +1444,7 @@ func (e *Engine) buildTablePlan(g *group, first *TriggerInfo, table string) (*in
 		plan.args[name] = args
 	}
 	plan.sqlText = RenderSQL(gp.Root)
-	return plan, nil
+	return []*installedPlan{plan}, nil
 }
 
 // actionUsesOldContent reports whether any member's action arguments read
@@ -1393,6 +1500,10 @@ func (e *Engine) fire(g *group, plan *installedPlan, ctx *reldb.FireContext) err
 		return e.fireBatch(g, plan, ctx)
 	}
 	e.fires.Add(1)
+	g.stats.fires.Add(1)
+	g.stats.deltaRows.Add(int64(len(ctx.Inserted) + len(ctx.Deleted)))
+	start := time.Now()
+	defer func() { g.stats.evalNS.Add(int64(time.Since(start))) }()
 	if m := e.obsp.Load(); m != nil {
 		defer m.fire.Since(time.Now())
 	}
@@ -1414,6 +1525,12 @@ func (e *Engine) fireBatch(g *group, plan *installedPlan, ctx *reldb.FireContext
 	}
 	plan.lastBatch = ctx.Batch.Seq
 	e.fires.Add(1)
+	g.stats.fires.Add(1)
+	for _, nd := range ctx.Batch.Deltas {
+		g.stats.deltaRows.Add(int64(len(nd.Inserted) + len(nd.Deleted)))
+	}
+	start := time.Now()
+	defer func() { g.stats.evalNS.Add(int64(time.Since(start))) }()
 	if m := e.obsp.Load(); m != nil {
 		defer m.fire.Since(time.Now())
 		if psp, ok := ctx.Batch.Obs.(*obs.Span); ok && psp != nil {
@@ -1492,6 +1609,7 @@ func (e *Engine) activate(g *group, plan *installedPlan, root *xqgm.Operator, an
 				}
 				args[i] = v
 			}
+			g.stats.activations.Add(1)
 			if err := e.stageOrDeliver(ctx, ti.Spec.ActionFn, Invocation{
 				Trigger: id,
 				Event:   g.event,
@@ -1574,6 +1692,7 @@ func (e *Engine) Stats() Stats {
 		st.Outbox = true
 		st.OutboxLog = ob.log.Stats()
 	}
+	st.PerGroup = e.GroupStats()
 	return st
 }
 
@@ -1861,15 +1980,49 @@ func (h *BatchHandle) Run(fn func(*reldb.Tx) error) error {
 // footprint (plus the tables the declared tables' installed triggers and
 // foreign-key checks read), so batches with disjoint footprints run
 // concurrently. The transaction is restricted to the declared tables: a
-// mutation of an undeclared table fails before applying, fn sees the
-// error, and returning it rolls the batch back. Triggers installed on the
-// declared tables still fire at commit exactly as with Batch.
+// mutation of an undeclared table fails with reldb.ErrUndeclaredTable,
+// and the engine escalates — the declared-footprint attempt rolls back
+// (nothing from it survives) and fn re-runs under Batch's all-table
+// lock. Escalation is a restart, never a mid-flight lock upgrade: the
+// declared locks release before the full set is acquired in global
+// lockOrder, so two escalating batches cannot deadlock against each
+// other. fn must therefore be safe to re-run from scratch, which every
+// pure mutation callback is. Triggers installed on the declared tables
+// still fire at commit exactly as with Batch.
 func (e *Engine) BatchTables(tables []string, fn func(*reldb.Tx) error) error {
 	h, err := e.BeginBatchTables(tables)
 	if err != nil {
 		return err
 	}
-	return h.Run(fn)
+	finished := false
+	defer func() {
+		if !finished {
+			_ = h.Rollback()
+		}
+	}()
+	err = fn(h.tx)
+	if h.tx.NeedsEscalation() {
+		// The declared footprint was too small. The handle's mutations are
+		// partial (the undeclared statement was refused), so the whole
+		// attempt rolls back and the batch restarts with every table
+		// locked. Checked on the handle, not on fn's error: a callback
+		// that swallowed the refusal and returned nil must not commit its
+		// partial declared-table mutations.
+		finished = true
+		if rbErr := h.Rollback(); rbErr != nil {
+			return fmt.Errorf("core: lock escalation rollback failed: %w", rbErr)
+		}
+		return e.Batch(fn)
+	}
+	if err != nil {
+		finished = true
+		if rbErr := h.Rollback(); rbErr != nil {
+			return fmt.Errorf("%w (rollback failed: %v)", err, rbErr)
+		}
+		return err
+	}
+	finished = true
+	return h.Commit()
 }
 
 // BeginBatchTables is BeginBatch with a declared footprint: only the

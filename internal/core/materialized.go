@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"time"
 
 	"quark/internal/grouping"
 	"quark/internal/reldb"
@@ -9,13 +9,19 @@ import (
 	"quark/internal/xqgm"
 )
 
-// buildMaterialized installs the strawman pipeline the paper argues against
-// in Section 1: the trigger path's result is fully materialized and, after
-// every statement on any underlying table, recomputed and diffed by
-// canonical key. It is expensive by design (cost grows with view size, not
-// with the number of affected nodes) but makes a perfect correctness oracle
-// for the translated-trigger pipeline.
-func (e *Engine) buildMaterialized(g *group) error {
+// compileMaterialized compiles the strawman pipeline the paper argues
+// against in Section 1: the trigger path's result is fully materialized
+// and, after every statement on any underlying table, recomputed and
+// diffed by canonical key. It is expensive by design (cost grows with
+// view size, not with the number of affected nodes) but makes a perfect
+// correctness oracle for the translated-trigger pipeline — and, for
+// small hot views, the adaptive planner's cheapest option.
+//
+// Like compileGroup's translated modes, nothing installs here: the
+// initial snapshot evaluates eagerly (the caller holds the table locks),
+// so a group switching modes pays the snapshot cost during prepare and
+// an aborted switch simply discards it.
+func (e *Engine) compileMaterialized(g *group) (*groupBuild, error) {
 	vw := g.nav.Op.OutWidth()
 	layout := Layout{
 		NewCol: func(i int) int { return i },
@@ -35,13 +41,13 @@ func (e *Engine) buildMaterialized(g *group) error {
 		if ti.Spec.Condition != nil {
 			tmpl, err := cc.compile(ti.Spec.Condition)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			conds[name] = grouping.Bind(tmpl, ti.Consts)
 		}
 		a, err := e.compileArgs(g, ti, layout)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		args[name] = a
 	}
@@ -49,9 +55,14 @@ func (e *Engine) buildMaterialized(g *group) error {
 	// Initial snapshot.
 	snapshot, err := e.materializeSnapshot(g)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	state := &matState{rows: snapshot}
+	recordSnapSize := func(rows map[string]xqgm.Tuple) {
+		g.stats.snapRows.Store(int64(len(rows)))
+		g.stats.snapBytes.Store(int64(len(rows)) * int64(vw) * bytesPerValue)
+	}
+	recordSnapSize(snapshot)
 
 	body := func(ctx *reldb.FireContext) error {
 		// Under a batched commit the body fires once per (table, event) of
@@ -65,6 +76,9 @@ func (e *Engine) buildMaterialized(g *group) error {
 			state.lastBatch = ctx.Batch.Seq
 		}
 		e.fires.Add(1)
+		g.stats.fires.Add(1)
+		start := time.Now()
+		defer func() { g.stats.evalNS.Add(int64(time.Since(start))) }()
 		after, err := e.materializeSnapshot(g)
 		if err != nil {
 			return err
@@ -74,9 +88,9 @@ func (e *Engine) buildMaterialized(g *group) error {
 			// transaction commits. A rolled-back prepare must leave the
 			// diff baseline untouched, or the next firing would diff
 			// against state that never existed.
-			ctx.Stage(func() error { state.rows = after; return nil })
+			ctx.Stage(func() error { state.rows = after; recordSnapSize(after); return nil })
 		} else {
-			defer func() { state.rows = after }()
+			defer func() { state.rows = after; recordSnapSize(after) }()
 		}
 		if ctx.Batch != nil && ctx.Batch.Silent {
 			// Silent data movement (shard rebalancing): the snapshot must
@@ -112,6 +126,7 @@ func (e *Engine) buildMaterialized(g *group) error {
 				}
 			}
 		}
+		g.stats.deltaRows.Add(int64(len(fired)))
 		for _, p := range fired {
 			row := make(xqgm.Tuple, 0, 2*vw)
 			row = append(row, p.new...)
@@ -136,6 +151,7 @@ func (e *Engine) buildMaterialized(g *group) error {
 					}
 					avals[i] = v
 				}
+				g.stats.activations.Add(1)
 				inv := Invocation{
 					Trigger: name,
 					Event:   g.event,
@@ -152,21 +168,23 @@ func (e *Engine) buildMaterialized(g *group) error {
 	}
 
 	// Fire on every event of every table the view reads.
+	b := &groupBuild{mode: ModeMaterialized}
 	for _, table := range xqgm.Tables(g.nav.Op) {
 		for _, ev := range []reldb.Event{reldb.EvInsert, reldb.EvUpdate, reldb.EvDelete} {
-			e.sqlSeq++
-			name := fmt.Sprintf("matTrig_%d", e.sqlSeq)
-			if err := e.db.CreateTrigger(&reldb.SQLTrigger{
-				Name: name, Table: table, Event: ev, Body: body,
-				SQL: "-- materialized view maintenance + diff",
-			}); err != nil {
-				return err
-			}
-			g.sqlNames = append(g.sqlNames, name)
+			b.installs = append(b.installs, pendingTrigger{
+				table: table, event: ev, prefix: "matTrig", body: body,
+				sql: "-- materialized view maintenance + diff",
+			})
 		}
 	}
-	return nil
+	return b, nil
 }
+
+// bytesPerValue is the rough in-memory footprint charged per snapshot
+// value when estimating materialized view size (slice header + boxed
+// value). The planner's memory budget works in these units; precision
+// matters less than monotonicity in rows × width.
+const bytesPerValue = 24
 
 type matState struct {
 	rows      map[string]xqgm.Tuple

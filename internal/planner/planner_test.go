@@ -1,0 +1,107 @@
+package planner
+
+import (
+	"reflect"
+	"testing"
+
+	"quark/internal/core"
+)
+
+func warmGroup(sig string, mode core.Mode, fires, estRows, estBytes int64) core.GroupStat {
+	return core.GroupStat{
+		Sig: sig, Mode: mode, ModeName: mode.String(), Members: 3,
+		Fires: fires, EstSnapshotRows: estRows, EstSnapshotBytes: estBytes,
+	}
+}
+
+// A hot group over a small view materializes; a cold group is left alone.
+func TestDecideMaterializesHotSmallGroup(t *testing.T) {
+	p := New(Config{MemoryBudget: 1 << 20})
+	stats := []core.GroupStat{
+		warmGroup("hot", core.ModeGrouped, 1000, 10, 4_000),
+		warmGroup("cold", core.ModeGrouped, 2, 10, 4_000),
+	}
+	target := p.Decide(stats)
+	if target["hot"] != core.ModeMaterialized {
+		t.Errorf("hot small group -> %v, want MATERIALIZED (target=%v)", target["hot"], target)
+	}
+	if _, ok := target["cold"]; ok {
+		t.Errorf("cold group got a decision: %v", target["cold"])
+	}
+}
+
+// A group whose view is huge stays translated: full re-evaluation costs
+// more than the delta-driven plan.
+func TestDecideKeepsLargeViewTranslated(t *testing.T) {
+	p := New(Config{MemoryBudget: -1}) // unbounded: cost, not budget, decides
+	stats := []core.GroupStat{
+		warmGroup("big", core.ModeGroupedAgg, 1000, 1_000_000, 72_000_000),
+	}
+	if target := p.Decide(stats); len(target) != 0 {
+		t.Errorf("large view got a switch: %v", target)
+	}
+}
+
+// The memory budget is a hard cap: greedy selection takes the best
+// benefit-per-byte groups that fit and leaves the rest translated.
+func TestDecideRespectsMemoryBudget(t *testing.T) {
+	p := New(Config{MemoryBudget: 5_000})
+	stats := []core.GroupStat{
+		warmGroup("a", core.ModeGrouped, 5000, 10, 4_000), // best benefit/byte
+		warmGroup("b", core.ModeGrouped, 1000, 10, 4_000), // does not fit with a
+	}
+	target := p.Decide(stats)
+	if target["a"] != core.ModeMaterialized {
+		t.Errorf("group a -> %v, want MATERIALIZED", target["a"])
+	}
+	if m, ok := target["b"]; ok && m == core.ModeMaterialized {
+		t.Error("group b materialized past the budget")
+	}
+	// Zero budget: nothing materializes, ever.
+	p0 := New(Config{MemoryBudget: 0})
+	for sig, m := range p0.Decide(stats) {
+		if m == core.ModeMaterialized {
+			t.Errorf("zero budget materialized %q", sig)
+		}
+	}
+}
+
+// An already-materialized group within budget produces no switch (no-op
+// decisions are dropped), and hysteresis keeps near-ties in place.
+func TestDecideHysteresisAndNoOps(t *testing.T) {
+	p := New(Config{MemoryBudget: 1 << 20})
+	inPlace := warmGroup("steady", core.ModeMaterialized, 1000, 10, 4_000)
+	inPlace.SnapshotRows = 10
+	inPlace.SnapshotBytes = 4_000
+	if target := p.Decide([]core.GroupStat{inPlace}); len(target) != 0 {
+		t.Errorf("steady materialized group got a switch: %v", target)
+	}
+	// Near-tie: materialized cost ~= translated cost; the 20% margin
+	// keeps the current mode. 60 rows × 400ns = 24000ns vs GROUPED-AGG
+	// 0.8×(25000+600) = 20480ns — better, but not 20% better.
+	tie := warmGroup("tie", core.ModeMaterialized, 1000, 60, 24_000)
+	tie.SnapshotRows = 60
+	tie.SnapshotBytes = 24_000
+	if target := p.Decide([]core.GroupStat{tie}); len(target) != 0 {
+		t.Errorf("near-tie group switched: %v", target)
+	}
+}
+
+// Decisions are deterministic in their input regardless of slice order —
+// the property that lets every shard apply the same fleet-wide decision.
+func TestDecideDeterministic(t *testing.T) {
+	p := New(Config{MemoryBudget: 6_000})
+	a := []core.GroupStat{
+		warmGroup("g1", core.ModeGrouped, 900, 10, 4_000),
+		warmGroup("g2", core.ModeGrouped, 901, 10, 4_000),
+		warmGroup("g3", core.ModeUngrouped, 50, 500, 200_000),
+	}
+	b := []core.GroupStat{a[2], a[0], a[1]}
+	t1, t2 := p.Decide(a), p.Decide(b)
+	if !reflect.DeepEqual(t1, t2) {
+		t.Errorf("order-dependent decision: %v vs %v", t1, t2)
+	}
+	if len(t1) == 0 {
+		t.Error("expected at least one switch")
+	}
+}

@@ -65,7 +65,26 @@ type Tx struct {
 	batch    *BatchInfo
 	silent   bool
 	obsTok   any
+
+	// escalate latches when a restricted transaction touched an undeclared
+	// table (the mutation was refused with ErrUndeclaredTable). The engine
+	// layer reads it through NeedsEscalation to retry the batch under the
+	// all-table lock instead of surfacing the error.
+	escalate bool
 }
+
+// ErrUndeclaredTable is wrapped into the error a restricted transaction
+// returns when a mutation targets a table outside its declared footprint
+// (see Restrict). Callers can match it with errors.Is to distinguish the
+// footprint violation from real mutation failures.
+var ErrUndeclaredTable = fmt.Errorf("reldb: table not in declared footprint")
+
+// NeedsEscalation reports whether a restricted transaction was refused a
+// mutation for touching an undeclared table. The refusal is sticky: once
+// set, the transaction's declared lock footprint is known to be too
+// small, and the engine layer's lock escalation rolls it back and re-runs
+// the batch under the all-table lock.
+func (tx *Tx) NeedsEscalation() bool { return tx.escalate }
 
 // SetObsToken attaches an opaque observability token that Prepare copies
 // onto the firing wave's BatchInfo (see BatchInfo.Obs). The translation
@@ -192,7 +211,8 @@ func (tx *Tx) checkTable(table string) error {
 		return fmt.Errorf("reldb: transaction is prepared; mutations are frozen until commit or rollback")
 	}
 	if tx.allowed != nil && !tx.allowed[table] {
-		return fmt.Errorf("reldb: transaction is restricted to its declared tables; %q is not declared", table)
+		tx.escalate = true
+		return fmt.Errorf("reldb: transaction is restricted to its declared tables; %q is not declared: %w", table, ErrUndeclaredTable)
 	}
 	return nil
 }

@@ -223,6 +223,13 @@ func (e *Engine) Grow(n int) error {
 	views := append([]namedView(nil), e.views...)
 	specs := append([]*trigger.Spec(nil), e.trigSpecs...)
 	e.regMu.Unlock()
+	e.adMu.Lock()
+	adaptive := e.adaptive
+	modes := make(map[string]core.Mode, len(e.groupModes))
+	for sig, m := range e.groupModes {
+		modes[sig] = m
+	}
+	e.adMu.Unlock()
 	var newEngines []*core.Engine
 	var newDBs []*reldb.DB
 	for i := cur; i < n; i++ {
@@ -231,6 +238,19 @@ func (e *Engine) Grow(n int) error {
 			return err
 		}
 		ce := core.NewEngine(db, e.mode)
+		if adaptive {
+			// Adaptive marking and mode seeds must precede the trigger
+			// replay: grouping signatures depend on the adaptive flag, and
+			// seeded groups must come up in the fleet's agreed mode.
+			if err := ce.SetModePolicy(nil); err != nil {
+				return err
+			}
+			for sig, m := range modes {
+				if err := ce.SeedGroupMode(sig, m); err != nil {
+					return err
+				}
+			}
+		}
 		for _, a := range actions {
 			ce.RegisterAction(a.name, a.fn)
 		}
