@@ -23,6 +23,7 @@ import (
 	"quark/internal/outbox"
 	"quark/internal/planner"
 	"quark/internal/reldb"
+	"quark/internal/relsql"
 	"quark/internal/schema"
 	"quark/internal/wire"
 	"quark/internal/workload"
@@ -30,7 +31,7 @@ import (
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "figure to regenerate: 17, 18, 22, 23, 24, batch, dispatch, outbox, shard, adaptive, compile, or all")
+	figFlag     = flag.String("fig", "all", "figure to regenerate: 17, 18, 22, 23, 24, batch, dispatch, outbox, shard, adaptive, sqlite, compile, or all")
 	scaleFlag   = flag.Float64("scale", 0.25, "data scale factor (1.0 = paper scale: 128K leaf tuples default)")
 	updatesFlag = flag.Int("updates", 100, "independent updates per measurement (paper: 100)")
 	maxTrigFlag = flag.Int("maxtriggers", 10000, "cap on trigger-count sweep (paper sweeps to 100,000)")
@@ -758,6 +759,87 @@ func buildSkewed(p workload.Params, mode core.Mode, adaptive bool) (*workload.Se
 	return w, nil
 }
 
+// figSqlite measures the durability tax of the real-database backend:
+// with the relsql plan shadow attached, every translated plan evaluation is
+// replayed as rendered SQL on a mirrored database (schema sync + transition
+// loads + execution + multiset compare). The sweep reports update cost with
+// the shadow detached vs attached per translation mode. Requires a build
+// with the sqlite tag; otherwise it prints a note and records nothing.
+func figSqlite() {
+	curFig = "sqlite"
+	if !relsql.Available() {
+		fmt.Println("\nSQLite backend sweep: skipped — rebuild benchrunner with -tags sqlite")
+		return
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p := defaults()
+	// The shadow rebuilds its mirror from scratch on every firing — that is
+	// the tax being measured — so keep the data small enough that a sweep
+	// finishes in seconds, not the paper's full scale.
+	if p.LeafTuples > 1024 {
+		p.LeafTuples = 1024
+	}
+	if p.NumTriggers > 50 {
+		p.NumTriggers = 50
+	}
+	updates := *updatesFlag
+	if updates > 25 {
+		updates = 25
+	}
+	fmt.Printf("\nSQLite backend durability tax: %d leaves, %d triggers, %d updates/point\n",
+		p.LeafTuples, p.NumTriggers, updates)
+	fmt.Printf("  %-14s%14s%18s%10s%12s\n", "system", "ms/update", "ms/update+sql", "tax", "verified")
+	for _, m := range []core.Mode{core.ModeUngrouped, core.ModeGrouped, core.ModeGroupedAgg} {
+		w, err := workload.Build(p, m, 42)
+		if err != nil {
+			fail(err)
+		}
+		attachCore(w.Engine)
+		if err := w.UpdateOneLeaf(); err != nil {
+			fail(err)
+		}
+		start := time.Now()
+		for i := 0; i < updates; i++ {
+			if err := w.UpdateOneLeaf(); err != nil {
+				fail(err)
+			}
+		}
+		base := time.Since(start) / time.Duration(updates)
+
+		sh, err := relsql.NewShadow(w.Engine.DB())
+		if err != nil {
+			fail(err)
+		}
+		w.Engine.SetPlanShadow(sh)
+		start = time.Now()
+		for i := 0; i < updates; i++ {
+			if err := w.UpdateOneLeaf(); err != nil {
+				fail(err)
+			}
+		}
+		shadowed := time.Since(start) / time.Duration(updates)
+		w.Engine.SetPlanShadow(nil)
+		verified := sh.Verified()
+		if err := sh.Close(); err != nil {
+			fail(err)
+		}
+		if verified == 0 {
+			fail(fmt.Errorf("sqlite sweep: %s verified no plan evaluations", m))
+		}
+		baseMS := float64(base.Microseconds()) / 1000.0
+		shadowMS := float64(shadowed.Microseconds()) / 1000.0
+		fmt.Printf("  %-14s%14.3f%18.3f%9.1fx%12d\n", m, baseMS, shadowMS, shadowMS/baseMS, verified)
+		recordPoint(fmt.Sprint(m), benchPoint{
+			"x": "durability-tax", "ms_per_update": baseMS,
+			"ms_per_update_sql": shadowMS, "tax_factor": shadowMS / baseMS,
+			"verified": float64(verified),
+		})
+	}
+}
+
 func main() {
 	flag.Parse()
 	stop := startObs()
@@ -785,6 +867,8 @@ func main() {
 		figShard()
 	case "adaptive":
 		figAdaptive()
+	case "sqlite":
+		figSqlite()
 	case "all":
 		fig17()
 		fig18()
@@ -796,6 +880,7 @@ func main() {
 		figOutbox()
 		figShard()
 		figAdaptive()
+		figSqlite()
 		figCompile()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)

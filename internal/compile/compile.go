@@ -934,6 +934,11 @@ func (s *seqCtor) Eval(env *xqgm.Env) (xdm.Value, error) {
 	return xdm.Seq(out), nil
 }
 
+// SeqItems exposes the assembled expressions so SQL rendering (core.RenderSQL)
+// can emit the sequence as an executable xml_concat call without depending on
+// this unexported type.
+func (s *seqCtor) SeqItems() []xqgm.Expr { return s.items }
+
 func (s *seqCtor) String() string {
 	out := "("
 	for i, it := range s.items {

@@ -12,6 +12,7 @@ import (
 	"quark/internal/dispatch"
 	"quark/internal/outbox"
 	"quark/internal/reldb"
+	"quark/internal/relsql"
 	"quark/internal/shard"
 	"quark/internal/wire"
 	"quark/internal/xdm"
@@ -82,6 +83,16 @@ type RunOpts struct {
 	// silent mode migrations interleaved mid-stream. The log must STILL
 	// match the goldens: migration is never trigger activity.
 	ModeFlips bool
+	// Backend, when "sqlite", attaches the real-database plan shadow
+	// (internal/relsql) to the engine: every translated plan evaluation is
+	// replayed as rendered SQL against a mirrored backend database with
+	// real INSERTED_/DELETED_ transition tables, and any result divergence
+	// fails the run. Single-engine styles only. Requires a build with the
+	// sqlite tag (the stub backend errors otherwise).
+	Backend string
+	// BackendVerified, when non-nil, receives the number of plan
+	// evaluations the backend shadow verified during the run.
+	BackendVerified *int64
 	// AbortFirst attempts every batched begin..commit block TWICE: first
 	// with a prepare-phase failure armed on the engine (every shard of a
 	// sharded run) — the attempt must error, deliver nothing, and leave no
@@ -258,6 +269,26 @@ func RunStyle(sc *Scenario, mode core.Mode, opts RunOpts) (string, error) {
 			return "", err
 		}
 		e = coreRun{core.NewEngine(db, mode), db}
+	}
+	if opts.Backend != "" {
+		if opts.Backend != "sqlite" {
+			return "", fmt.Errorf("conformance: unknown backend %q", opts.Backend)
+		}
+		cr, ok := e.(coreRun)
+		if !ok {
+			return "", fmt.Errorf("conformance: Backend runs are single-engine only (Shards must be 0)")
+		}
+		sh, err := relsql.NewShadow(cr.db)
+		if err != nil {
+			return "", err
+		}
+		defer func() {
+			if opts.BackendVerified != nil {
+				*opts.BackendVerified = sh.Verified()
+			}
+			_ = sh.Close()
+		}()
+		cr.e.SetPlanShadow(sh)
 	}
 	if opts.Adaptive {
 		// Before any trigger registration: signatures depend on the flag.

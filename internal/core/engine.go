@@ -201,6 +201,12 @@ type Engine struct {
 	// observability registry (EnableObs). Nil means disabled: every
 	// instrumented path reduces to one atomic load and a branch.
 	obsp atomic.Pointer[engineObs]
+
+	// shadow, when non-nil, re-executes every translated plan's rendered
+	// SQL on an external backend (internal/relsql) and fails the firing on
+	// any result divergence (SetPlanShadow). Nil means disabled: the firing
+	// path pays one atomic load and a branch.
+	shadow atomic.Pointer[PlanShadow]
 }
 
 // DeliveryStripes is the per-trigger mutex set serializing outbox append
@@ -295,6 +301,7 @@ type installedPlan struct {
 	args       map[string][]xqgm.Expr // trigID -> compiled action args
 	members    map[string]*TriggerInfo
 	sqlText    string
+	batchSQL   string // rendered SQL of batchRoot (empty when batchRoot is nil)
 
 	// batchRoot/batchAN, when set, replace root/an for batched firings
 	// that touched more than one table: the GROUPED-AGG old-aggregate
@@ -1434,6 +1441,7 @@ func (e *Engine) buildTablePlans(g *group, table string, mode Mode) ([]*installe
 		}
 		plan.batchRoot = bp.Root
 		plan.batchAN = anPlain
+		plan.batchSQL = RenderSQL(bp.Root)
 	}
 	for _, name := range g.order {
 		ti := g.members[name]
@@ -1563,6 +1571,18 @@ func (e *Engine) activate(g *group, plan *installedPlan, root *xqgm.Operator, an
 	rows, err := ectx.Eval(root)
 	if err != nil {
 		return err
+	}
+	if sh := e.shadow.Load(); sh != nil {
+		sqlText := plan.sqlText
+		if root == plan.batchRoot {
+			sqlText = plan.batchSQL
+		}
+		// Materialized-view bodies carry no rendered SQL; nothing to mirror.
+		if sqlText != "" {
+			if err := (*sh).VerifyPlan(plan.table, sqlText, deltas, rows); err != nil {
+				return fmt.Errorf("core: plan shadow: %w", err)
+			}
+		}
 	}
 	if len(rows) == 0 {
 		return nil

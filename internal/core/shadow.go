@@ -1,0 +1,30 @@
+package core
+
+import (
+	"quark/internal/xqgm"
+)
+
+// PlanShadow mirrors translated trigger-plan evaluations onto a second,
+// SQL-executing backend. After every in-memory evaluation the engine hands
+// the shadow the rendered SQL text of the plan it just ran, the firing's
+// transition tables, and the evaluator's result rows; the shadow replays the
+// SQL against its own copy of the store and returns an error on any
+// divergence (multiset comparison — SQL promises no row order).
+//
+// This is the conformance seam of the real-database backend
+// (internal/relsql): the paper's claim is that the translated SQL triggers
+// run unchanged on a relational engine, and the shadow makes that claim a
+// per-firing invariant instead of a one-off test.
+type PlanShadow interface {
+	VerifyPlan(table, sqlText string, deltas map[string]*xqgm.Transition, rows []xqgm.Tuple) error
+}
+
+// SetPlanShadow installs (or, with nil, removes) the plan shadow. Safe to
+// call at any time; firings observe the change atomically.
+func (e *Engine) SetPlanShadow(s PlanShadow) {
+	if s == nil {
+		e.shadow.Store(nil)
+		return
+	}
+	e.shadow.Store(&s)
+}

@@ -1,0 +1,15 @@
+package reldb
+
+import "quark/internal/schema"
+
+// Reader is the read-only surface a mirroring backend needs to rebuild a
+// consistent snapshot of the store: schema, full scans, and row counts.
+// *DB implements it; internal/relsql consumes it so the real-database
+// shadow never depends on the write path (and a test can hand in a fake).
+type Reader interface {
+	Schema() *schema.Schema
+	Scan(table string, fn func(Row) bool) error
+	RowCount(table string) int
+}
+
+var _ Reader = (*DB)(nil)

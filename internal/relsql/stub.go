@@ -1,0 +1,42 @@
+//go:build !sqlite
+
+package relsql
+
+import (
+	"errors"
+
+	"quark/internal/reldb"
+	"quark/internal/schema"
+	"quark/internal/xqgm"
+)
+
+// Available reports whether the real-database backend is compiled in.
+func Available() bool { return false }
+
+// ErrUnavailable is returned by every entry point when the backend is not
+// compiled in (build without the "sqlite" tag).
+var ErrUnavailable = errors.New("relsql: real-database backend not compiled in (build with -tags sqlite)")
+
+// Shadow is the no-op stand-in for the backend shadow.
+type Shadow struct{}
+
+// NewShadow reports the backend as unavailable.
+func NewShadow(src reldb.Reader) (*Shadow, error) { return nil, ErrUnavailable }
+
+// Close implements the Shadow API.
+func (s *Shadow) Close() error { return nil }
+
+// Verified implements the Shadow API.
+func (s *Shadow) Verified() int64 { return 0 }
+
+// VerifyPlan implements the core.PlanShadow seam.
+func (s *Shadow) VerifyPlan(table, sqlText string, deltas map[string]*xqgm.Transition, rows []xqgm.Tuple) error {
+	return ErrUnavailable
+}
+
+// ExplainPlan implements the Shadow API.
+func (s *Shadow) ExplainPlan(sqlText string) (string, error) { return "", ErrUnavailable }
+
+// DDL returns the backend DDL for the schema (shared with the real build so
+// docs and tests can show it without the tag).
+func DDL(sc *schema.Schema) []string { return nil }

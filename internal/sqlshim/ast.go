@@ -1,0 +1,187 @@
+package sqlshim
+
+import "quark/internal/xdm"
+
+// Stmt is any parsed statement.
+type Stmt interface{ isStmt() }
+
+// CreateTable is CREATE TABLE name (col type ..., PRIMARY KEY (...)).
+type CreateTable struct {
+	Name string
+	Cols []ColDef
+	PK   []string
+}
+
+// ColDef is one column definition.
+type ColDef struct {
+	Name string
+	Type string
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// Insert is INSERT INTO name [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+}
+
+// Delete is DELETE FROM name [WHERE expr].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// ExplainStmt is EXPLAIN QUERY PLAN <query>.
+type ExplainStmt struct {
+	Query *Query
+}
+
+// Query is [WITH ctes] compound.
+type Query struct {
+	With []CTEDef
+	Body *Compound
+}
+
+// CTEDef is name(cols) AS (body).
+type CTEDef struct {
+	Name string
+	Cols []string
+	Body *Compound
+}
+
+// Compound is a chain of set operations over select cores.
+type Compound struct {
+	First Operand
+	Rest  []CompoundTail
+}
+
+// CompoundTail is one trailing set operation.
+type CompoundTail struct {
+	Op      string // "union", "union all", "except", "intersect"
+	Operand Operand
+}
+
+// Operand is one compound operand: *SelectCore, *ValuesCore, or a
+// parenthesized *Compound.
+type Operand interface{ isOperand() }
+
+func (*SelectCore) isOperand() {}
+func (*ValuesCore) isOperand() {}
+func (*Compound) isOperand()   {}
+
+func (*CreateTable) isStmt() {}
+func (*DropTable) isStmt()   {}
+func (*Insert) isStmt()      {}
+func (*Delete) isStmt()      {}
+func (*ExplainStmt) isStmt() {}
+func (*Query) isStmt()       {}
+
+// ValuesCore is VALUES (...), (...).
+type ValuesCore struct {
+	Rows [][]Expr
+}
+
+// SelectCore is one SELECT ... FROM ... WHERE ... GROUP BY ... ORDER BY.
+type SelectCore struct {
+	Items   []SelectItem
+	From    []FromItem
+	Where   Expr
+	GroupBy []Expr
+	OrderBy []OrderSpec
+}
+
+// SelectItem is one output expression (or *).
+type SelectItem struct {
+	Star bool
+	E    Expr
+	As   string
+}
+
+// FromItem is one FROM source; Join is "" for the first source.
+type FromItem struct {
+	Join  string // "", "inner", "left", "cross"
+	Table string
+	Sub   *Compound
+	Alias string
+	On    Expr
+}
+
+// OrderSpec is one ORDER BY term.
+type OrderSpec struct {
+	E    Expr
+	Desc bool
+}
+
+// Expr is any expression node.
+type Expr interface{ isExpr() }
+
+// LitE is a literal value.
+type LitE struct{ V xdm.Value }
+
+// ParamE is a ? placeholder (ordinal).
+type ParamE struct{ Idx int }
+
+// ColE is a column reference, optionally qualified.
+type ColE struct{ Qual, Name string }
+
+// UnaryE is unary minus or NOT.
+type UnaryE struct {
+	Op string // "-", "not"
+	E  Expr
+}
+
+// BinaryE is a comparison or arithmetic operator.
+type BinaryE struct {
+	Op   string // = <> < <= > >= + - * / %
+	L, R Expr
+}
+
+// LogicE is AND/OR with three-valued logic.
+type LogicE struct {
+	Op   string // "and", "or"
+	Args []Expr
+}
+
+// IsNullE is IS [NOT] NULL.
+type IsNullE struct {
+	E   Expr
+	Neg bool
+}
+
+// CallE is a function call; aggregates may carry an internal ORDER BY.
+type CallE struct {
+	Name    string // lowercased
+	Star    bool   // COUNT(*)
+	Args    []Expr
+	OrderBy []OrderSpec
+}
+
+// ExistsE is EXISTS (subquery).
+type ExistsE struct{ Q *Compound }
+
+// SubqueryE is a scalar subquery.
+type SubqueryE struct{ Q *Compound }
+
+// WindowE is ROW_NUMBER() OVER (PARTITION BY ...).
+type WindowE struct {
+	Fn          string // "row_number"
+	PartitionBy []Expr
+}
+
+func (*LitE) isExpr()      {}
+func (*ParamE) isExpr()    {}
+func (*ColE) isExpr()      {}
+func (*UnaryE) isExpr()    {}
+func (*BinaryE) isExpr()   {}
+func (*LogicE) isExpr()    {}
+func (*IsNullE) isExpr()   {}
+func (*CallE) isExpr()     {}
+func (*ExistsE) isExpr()   {}
+func (*SubqueryE) isExpr() {}
+func (*WindowE) isExpr()   {}

@@ -1,0 +1,166 @@
+package sqlshim
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"sync"
+
+	"quark/internal/xdm"
+)
+
+// The sqlshim database/sql driver. Data source names identify in-memory
+// databases: every connection opened with the same non-empty DSN shares one
+// DB (the connector resolves the DSN once, so pooled connections all see the
+// same state). Use Detach to drop a named database when done.
+
+func init() {
+	sql.Register("sqlshim", shimDriver{})
+}
+
+var registry = struct {
+	sync.Mutex
+	m map[string]*DB
+}{m: map[string]*DB{}}
+
+func openNamed(name string) *DB {
+	registry.Lock()
+	defer registry.Unlock()
+	db, ok := registry.m[name]
+	if !ok {
+		db = NewDB()
+		registry.m[name] = db
+	}
+	return db
+}
+
+// Detach removes the named in-memory database from the driver registry.
+func Detach(name string) {
+	registry.Lock()
+	defer registry.Unlock()
+	delete(registry.m, name)
+}
+
+type shimDriver struct{}
+
+func (shimDriver) Open(name string) (driver.Conn, error) {
+	return &shimConn{db: openNamed(name)}, nil
+}
+
+func (shimDriver) OpenConnector(name string) (driver.Connector, error) {
+	return shimConnector{db: openNamed(name)}, nil
+}
+
+type shimConnector struct{ db *DB }
+
+func (c shimConnector) Connect(context.Context) (driver.Conn, error) {
+	return &shimConn{db: c.db}, nil
+}
+
+func (c shimConnector) Driver() driver.Driver { return shimDriver{} }
+
+type shimConn struct{ db *DB }
+
+func (c *shimConn) Prepare(query string) (driver.Stmt, error) {
+	return &shimStmt{db: c.db, sql: query}, nil
+}
+
+func (c *shimConn) Close() error { return nil }
+
+// Begin returns a no-op transaction: the shim applies statements eagerly and
+// relies on the caller (relsql) for atomicity at the commit-cycle level.
+func (c *shimConn) Begin() (driver.Tx, error) { return noopTx{}, nil }
+
+type noopTx struct{}
+
+func (noopTx) Commit() error   { return nil }
+func (noopTx) Rollback() error { return nil }
+
+type shimStmt struct {
+	db  *DB
+	sql string
+}
+
+func (s *shimStmt) Close() error  { return nil }
+func (s *shimStmt) NumInput() int { return -1 }
+
+func (s *shimStmt) Exec(args []driver.Value) (driver.Result, error) {
+	_, err := s.db.Exec(s.sql, toXDM(args)...)
+	if err != nil {
+		return nil, err
+	}
+	return driver.RowsAffected(0), nil
+}
+
+func (s *shimStmt) Query(args []driver.Value) (driver.Rows, error) {
+	res, err := s.db.Exec(s.sql, toXDM(args)...)
+	if err != nil {
+		return nil, err
+	}
+	return &shimRows{res: res}, nil
+}
+
+func toXDM(args []driver.Value) []xdm.Value {
+	out := make([]xdm.Value, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case nil:
+			out[i] = xdm.Null
+		case bool:
+			out[i] = xdm.Bool(v)
+		case int64:
+			out[i] = xdm.Int(v)
+		case float64:
+			out[i] = xdm.Float(v)
+		case string:
+			out[i] = xdm.Str(v)
+		case []byte:
+			out[i] = xdm.Str(string(v))
+		default:
+			out[i] = xdm.Str(fmt.Sprint(v))
+		}
+	}
+	return out
+}
+
+type shimRows struct {
+	res *Result
+	pos int
+}
+
+func (r *shimRows) Columns() []string { return r.res.Cols }
+func (r *shimRows) Close() error      { return nil }
+
+func (r *shimRows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.res.Rows) {
+		return io.EOF
+	}
+	row := r.res.Rows[r.pos]
+	r.pos++
+	for i, v := range row {
+		dest[i] = Canon(v)
+	}
+	return nil
+}
+
+// Canon converts an xdm value to a canonical driver value: scalars map to
+// their native Go types; nodes and sequences map to their injective Key
+// string so result comparison across the SQL boundary stays exact.
+func Canon(v xdm.Value) driver.Value {
+	switch v.Kind() {
+	case xdm.KindNull:
+		return nil
+	case xdm.KindBool:
+		return v.AsBool()
+	case xdm.KindInt:
+		return v.AsInt()
+	case xdm.KindFloat:
+		return v.AsFloat()
+	case xdm.KindString:
+		return v.AsString()
+	default:
+		return v.Key()
+	}
+}

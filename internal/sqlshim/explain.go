@@ -1,0 +1,184 @@
+package sqlshim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// explainQuery renders a deterministic EXPLAIN QUERY PLAN for q. The plan is
+// derived purely from the statement text and table schemas — never from row
+// counts — so baselines stay stable across data sets (the regresql-style
+// conformance gate diffs these against committed files).
+func (db *DB) explainQuery(q *Query) ([]string, error) {
+	ex := &explainer{db: db, cteCols: map[string][]string{}}
+	var lines []string
+	for _, c := range q.With {
+		lines = append(lines, "CTE "+c.Name)
+		lines = append(lines, ex.compound(c.Body, 1)...)
+		cols := c.Cols
+		if len(cols) == 0 {
+			cols = ex.operandCols(c.Body)
+		}
+		ex.cteCols[strings.ToLower(c.Name)] = lowerAll(cols)
+	}
+	lines = append(lines, "QUERY")
+	lines = append(lines, ex.compound(q.Body, 1)...)
+	return lines, nil
+}
+
+type explainer struct {
+	db      *DB
+	cteCols map[string][]string
+}
+
+func indentLine(depth int, s string) string {
+	return strings.Repeat("  ", depth) + s
+}
+
+func (ex *explainer) compound(c *Compound, depth int) []string {
+	lines := ex.operand(c.First, depth)
+	for _, t := range c.Rest {
+		lines = append(lines, indentLine(depth, strings.ToUpper(t.Op)))
+		lines = append(lines, ex.operand(t.Operand, depth+1)...)
+	}
+	return lines
+}
+
+func (ex *explainer) operand(o Operand, depth int) []string {
+	switch x := o.(type) {
+	case *SelectCore:
+		return ex.selectCore(x, depth)
+	case *ValuesCore:
+		return []string{indentLine(depth, fmt.Sprintf("VALUES (%d rows)", len(x.Rows)))}
+	case *Compound:
+		return ex.compound(x, depth)
+	}
+	return nil
+}
+
+func (ex *explainer) selectCore(sc *SelectCore, depth int) []string {
+	var lines []string
+	leftAliases := map[string]bool{}
+	for i := range sc.From {
+		fi := &sc.From[i]
+		name := fi.Table
+		if fi.Sub != nil {
+			name = "(subquery)"
+		}
+		alias := strings.ToLower(fi.Alias)
+		if alias == "" {
+			alias = strings.ToLower(fi.Table)
+		}
+		label := name
+		if fi.Alias != "" {
+			label = name + " AS " + fi.Alias
+		}
+		switch {
+		case i == 0:
+			lines = append(lines, indentLine(depth, "SCAN "+label))
+		default:
+			st := planJoin(fi.On, leftAliases, alias, ex.fromCols(fi))
+			var how string
+			switch {
+			case len(st.equi) > 0:
+				var keys []string
+				for _, ep := range st.equi {
+					keys = append(keys, fmt.Sprintf("%s.%s = %s.%s", ep.left.Qual, ep.left.Name, alias, ep.rightCol))
+				}
+				how = "HASH JOIN " + label + " (" + strings.Join(keys, ", ") + ")"
+			case fi.On == nil:
+				how = "CROSS JOIN " + label
+			default:
+				how = "NESTED LOOP " + label
+			}
+			if fi.Join == "left" {
+				how = "LEFT " + how
+			}
+			lines = append(lines, indentLine(depth, how))
+		}
+		if fi.Sub != nil {
+			lines = append(lines, ex.compound(fi.Sub, depth+1)...)
+		}
+		if alias != "" {
+			leftAliases[alias] = true
+		}
+	}
+	if sc.Where != nil {
+		n := len(flattenAnd(sc.Where))
+		lines = append(lines, indentLine(depth, fmt.Sprintf("FILTER (%d conditions)", n)))
+	}
+	nwin := 0
+	hasAgg := len(sc.GroupBy) > 0
+	for _, it := range sc.Items {
+		nwin += len(collectWindows(it.E))
+		if !hasAgg && len(collectAggs(it.E)) > 0 {
+			hasAgg = true
+		}
+	}
+	if nwin > 0 {
+		lines = append(lines, indentLine(depth, "WINDOW ROW_NUMBER"))
+	}
+	if hasAgg {
+		if len(sc.GroupBy) > 0 {
+			lines = append(lines, indentLine(depth, fmt.Sprintf("AGGREGATE GROUP BY (%d keys)", len(sc.GroupBy))))
+		} else {
+			lines = append(lines, indentLine(depth, "AGGREGATE (global)"))
+		}
+	}
+	if len(sc.OrderBy) > 0 {
+		lines = append(lines, indentLine(depth, fmt.Sprintf("ORDER BY (%d keys)", len(sc.OrderBy))))
+	}
+	return lines
+}
+
+// fromCols resolves a FROM item's column names statically (schema or CTE
+// shape only) for join-key classification during EXPLAIN.
+func (ex *explainer) fromCols(fi *FromItem) []string {
+	if fi.Sub != nil {
+		return ex.operandCols(fi.Sub)
+	}
+	key := strings.ToLower(fi.Table)
+	if cols, ok := ex.cteCols[key]; ok {
+		return cols
+	}
+	if t, ok := ex.db.tables[key]; ok {
+		return lowerAll(t.Cols)
+	}
+	return nil
+}
+
+func (ex *explainer) operandCols(o Operand) []string {
+	switch x := o.(type) {
+	case *SelectCore:
+		var cols []string
+		for i, it := range x.Items {
+			switch {
+			case it.Star:
+				for j := range x.From {
+					cols = append(cols, ex.fromCols(&x.From[j])...)
+				}
+			case it.As != "":
+				cols = append(cols, it.As)
+			default:
+				if c, ok := it.E.(*ColE); ok {
+					cols = append(cols, c.Name)
+				} else {
+					cols = append(cols, fmt.Sprintf("c%d", i+1))
+				}
+			}
+		}
+		return cols
+	case *ValuesCore:
+		if len(x.Rows) == 0 {
+			return nil
+		}
+		cols := make([]string, len(x.Rows[0]))
+		for i := range cols {
+			cols[i] = fmt.Sprintf("c%d", i+1)
+		}
+		return cols
+	case *Compound:
+		return ex.operandCols(x.First)
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+// Package sqlshim is a small, dependency-free SQL engine over xdm values.
+// It executes the dialect produced by core.RenderSQL — WITH pipelines of
+// SELECT/JOIN/GROUP BY/UNION/EXCEPT cores plus the XML UDFs (xml_element,
+// path_step, ...) — with exactly the evaluator's value semantics, and it
+// registers a database/sql driver ("sqlshim") so internal/relsql can present
+// it behind the standard interface as the real-database backend.
+//
+// The engine is deliberately an interpreter: plans are tiny (per-commit
+// transition tables), and byte-identical agreement with internal/xqgm's
+// evaluator matters more than throughput. Where SQL leaves room
+// (three-valued logic, join-key NULLs, aggregate order), it mirrors
+// internal/xqgm precisely.
+package sqlshim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"quark/internal/xdm"
+)
+
+type tokKind int
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkQIdent
+	tkString
+	tkInt
+	tkFloat
+	tkPunct
+	tkParam
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lex tokenizes SQL text. Line comments (-- ...) are skipped; strings use
+// single quotes with ” escaping; quoted identifiers use double quotes.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("sqlshim: unterminated string at %d", start)
+				}
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			toks = append(toks, token{tkString, sb.String(), start})
+		case c == '"':
+			start := i
+			i++
+			j := i
+			for j < n && src[j] != '"' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sqlshim: unterminated quoted identifier at %d", start)
+			}
+			toks = append(toks, token{tkQIdent, src[i:j], start})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			start := i
+			isFloat := false
+			for i < n && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			if i < n && src[i] == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9' {
+				isFloat = true
+				i++
+				for i < n && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+			}
+			if i < n && (src[i] == 'e' || src[i] == 'E') {
+				j := i + 1
+				if j < n && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				if j < n && src[j] >= '0' && src[j] <= '9' {
+					isFloat = true
+					i = j
+					for i < n && src[i] >= '0' && src[i] <= '9' {
+						i++
+					}
+				}
+			}
+			k := tkInt
+			if isFloat {
+				k = tkFloat
+			}
+			toks = append(toks, token{k, src[start:i], start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentChar(src[i]) {
+				i++
+			}
+			toks = append(toks, token{tkIdent, src[start:i], start})
+		case c == '?':
+			toks = append(toks, token{tkParam, "?", i})
+			i++
+		case c == '<':
+			if i+1 < n && (src[i+1] == '=' || src[i+1] == '>') {
+				toks = append(toks, token{tkPunct, src[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{tkPunct, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tkPunct, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tkPunct, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tkPunct, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sqlshim: unexpected '!' at %d", i)
+			}
+		case strings.IndexByte("(),.;*=+-/%", c) >= 0:
+			toks = append(toks, token{tkPunct, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlshim: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tkEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func litFromToken(t token) (xdm.Value, error) {
+	switch t.kind {
+	case tkString:
+		return xdm.Str(t.text), nil
+	case tkInt:
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return xdm.Null, fmt.Errorf("sqlshim: bad integer %q: %v", t.text, err)
+		}
+		return xdm.Int(i), nil
+	case tkFloat:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return xdm.Null, fmt.Errorf("sqlshim: bad number %q: %v", t.text, err)
+		}
+		return xdm.Float(f), nil
+	}
+	return xdm.Null, fmt.Errorf("sqlshim: not a literal token %q", t.text)
+}

@@ -240,18 +240,37 @@ func pruneRows(a, b []reldb.Row) []reldb.Row {
 	return out
 }
 
-// evalOldTable reconstructs B_old = (B EXCEPT ΔB) UNION ∇B (paper §4.2).
-// With a primary key the EXCEPT is computed by key; otherwise by full row.
+// evalOldTable reconstructs B_old = (B EXCEPT ALL ΔB) UNION ALL ∇B (paper
+// §4.2). B_old is a bag expression: with a primary key, Δ keys are unique in
+// the table so a key set is exact; without one the table may hold duplicate
+// rows and Δ must be subtracted with multiplicity, not as a set.
 func (ctx *EvalContext) evalOldTable(o *Operator, tr *Transition) ([]Tuple, error) {
-	exclude := ctx.oldExclFor(o.Table, o.TablePK)
 	var out []Tuple
-	err := ctx.DB.Scan(o.Table, func(r reldb.Row) bool {
-		if len(exclude) > 0 && exclude[pkKeyOf(r, o.TablePK)] {
+	var err error
+	if len(o.TablePK) > 0 {
+		exclude := ctx.oldExclFor(o.Table, o.TablePK)
+		err = ctx.DB.Scan(o.Table, func(r reldb.Row) bool {
+			if len(exclude) > 0 && exclude[pkKeyOf(r, o.TablePK)] {
+				return true
+			}
+			out = append(out, Tuple(r))
 			return true
+		})
+	} else {
+		remain := make(map[string]int, len(tr.Inserted))
+		for _, r := range tr.Inserted {
+			remain[xdm.TupleKey(r)]++
 		}
-		out = append(out, Tuple(r))
-		return true
-	})
+		err = ctx.DB.Scan(o.Table, func(r reldb.Row) bool {
+			k := xdm.TupleKey(r)
+			if n := remain[k]; n > 0 {
+				remain[k] = n - 1
+				return true
+			}
+			out = append(out, Tuple(r))
+			return true
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -281,6 +300,12 @@ func matchBasePath(o *Operator) *basePath {
 		// Base tables probe the index directly; B_old is probed as the
 		// current table minus Δ-keyed rows plus matching ∇ rows.
 		if o.Source != SrcBase && o.Source != SrcOld {
+			return nil
+		}
+		// The indexed B_old probe masks Δ rows with a key set; without a
+		// primary key the subtraction needs bag multiplicity, so fall back
+		// to evalOldTable's full scan.
+		if o.Source == SrcOld && len(o.TablePK) == 0 {
 			return nil
 		}
 		cm := make([]int, o.Width)
@@ -316,7 +341,7 @@ func matchBasePath(o *Operator) *basePath {
 			}
 			cm[i] = bp.colMap[cr.Col]
 		}
-		return &basePath{table: bp.table, src: bp.src, residual: bp.residual, colMap: cm, names: o.OutNames()}
+		return &basePath{table: bp.table, src: bp.src, residual: bp.residual, colMap: cm, names: o.OutNames(), pk: bp.pk}
 	default:
 		return nil
 	}
