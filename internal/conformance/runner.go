@@ -554,6 +554,7 @@ func (sc *Scenario) execStmt(w stmtWriter, st Stmt) error {
 		for col, v := range st.Sets {
 			sets = append(sets, setCol{t.ColIndex(col), v})
 		}
+		sort.Slice(sets, func(i, j int) bool { return sets[i].ci < sets[j].ci })
 		_, err = w.Update(st.Table, sc.pred(st), func(r reldb.Row) reldb.Row {
 			for _, s := range sets {
 				r[s.ci] = s.v

@@ -227,7 +227,7 @@ type ModeSwitch struct {
 // the prepared snapshots saw cannot change, no trigger can register, and
 // a fleet coordinator can prepare every shard before committing any.
 func (e *Engine) PrepareGroupModes(target map[string]Mode) (*ModeSwitch, error) {
-	for sig, m := range target {
+	for sig, m := range target { //quark:sorted validation only: any order rejects the same bad entry set
 		if m > ModeMaterialized {
 			return nil, fmt.Errorf("core: unknown mode %d for group %q", m, sig)
 		}

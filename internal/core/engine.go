@@ -1510,8 +1510,8 @@ func (e *Engine) fire(g *group, plan *installedPlan, ctx *reldb.FireContext) err
 	e.fires.Add(1)
 	g.stats.fires.Add(1)
 	g.stats.deltaRows.Add(int64(len(ctx.Inserted) + len(ctx.Deleted)))
-	start := time.Now()
-	defer func() { g.stats.evalNS.Add(int64(time.Since(start))) }()
+	start := time.Now()                                             //quark:clock planner calibration input: evalNS feeds the cost model, never delivered bytes
+	defer func() { g.stats.evalNS.Add(int64(time.Since(start))) }() //quark:clock planner calibration input: evalNS feeds the cost model, never delivered bytes
 	if m := e.obsp.Load(); m != nil {
 		defer m.fire.Since(time.Now())
 	}
@@ -1537,8 +1537,8 @@ func (e *Engine) fireBatch(g *group, plan *installedPlan, ctx *reldb.FireContext
 	for _, nd := range ctx.Batch.Deltas {
 		g.stats.deltaRows.Add(int64(len(nd.Inserted) + len(nd.Deleted)))
 	}
-	start := time.Now()
-	defer func() { g.stats.evalNS.Add(int64(time.Since(start))) }()
+	start := time.Now()                                             //quark:clock planner calibration input: evalNS feeds the cost model, never delivered bytes
+	defer func() { g.stats.evalNS.Add(int64(time.Since(start))) }() //quark:clock planner calibration input: evalNS feeds the cost model, never delivered bytes
 	if m := e.obsp.Load(); m != nil {
 		defer m.fire.Since(time.Now())
 		if psp, ok := ctx.Batch.Obs.(*obs.Span); ok && psp != nil {
@@ -1789,13 +1789,13 @@ func (e *Engine) DeleteByPK(table string, key ...xdm.Value) (bool, error) {
 // before deciding where a statement belongs.
 func (e *Engine) GetByPK(table string, key ...xdm.Value) (reldb.Row, bool, error) {
 	e.mu.RLock()
-	l, ok := e.tableLocks[table]
-	e.mu.RUnlock()
-	if !ok {
+	if _, ok := e.tableLocks[table]; !ok {
+		e.mu.RUnlock()
 		return nil, false, fmt.Errorf("core: unknown table %q", table)
 	}
-	l.RLock()
-	defer l.RUnlock()
+	unlock := e.acquireLocks(nil, map[string]bool{table: true})
+	e.mu.RUnlock()
+	defer unlock()
 	r, found, err := e.db.GetByPK(table, key...)
 	if err != nil || !found {
 		return nil, found, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"quark/internal/grouping"
@@ -77,8 +78,8 @@ func (e *Engine) compileMaterialized(g *group) (*groupBuild, error) {
 		}
 		e.fires.Add(1)
 		g.stats.fires.Add(1)
-		start := time.Now()
-		defer func() { g.stats.evalNS.Add(int64(time.Since(start))) }()
+		start := time.Now()                                             //quark:clock planner calibration input: evalNS feeds the cost model, never delivered bytes
+		defer func() { g.stats.evalNS.Add(int64(time.Since(start))) }() //quark:clock planner calibration input: evalNS feeds the cost model, never delivered bytes
 		after, err := e.materializeSnapshot(g)
 		if err != nil {
 			return err
@@ -126,6 +127,10 @@ func (e *Engine) compileMaterialized(g *group) (*groupBuild, error) {
 				}
 			}
 		}
+		// The diff maps iterate in random order; delivery order is part of
+		// the conformance contract, so sort the Δ/∇ pairs by view key
+		// before firing members.
+		sort.Slice(fired, func(i, j int) bool { return fired[i].key < fired[j].key })
 		g.stats.deltaRows.Add(int64(len(fired)))
 		for _, p := range fired {
 			row := make(xqgm.Tuple, 0, 2*vw)

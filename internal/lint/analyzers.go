@@ -1,0 +1,12 @@
+package lint
+
+// All returns the full quarklint analyzer suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DetermLint,
+		LockLint,
+		StageLint,
+		PersistLint,
+		ObsLint,
+	}
+}

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ObsLint keeps PR 7's zero-cost observability guarantee honest:
+// "disabled = one branch, no clock read". Three rules:
+//
+//  1. (everywhere) No field access chained directly onto an atomic
+//     handle Load(): `e.obsp.Load().fire` panics when observability is
+//     detached, and even when it doesn't, it hides the enabled-check.
+//     Bind the result and nil-check it: `if m := e.obsp.Load(); m != nil`.
+//
+//  2. (everywhere) A clock read passed to an obs recording method
+//     (`h.Since(time.Now())`) must sit inside a branch dominated by a
+//     nil-check, so the disabled path never reaches time.Now. The obs
+//     methods themselves are nil-safe, but by the time the argument is
+//     evaluated the clock has already been read.
+//
+//  3. (internal/obs) Every exported pointer-receiver method on a handle
+//     type (Registry, Counter, Gauge, Histogram, Span) must nil-check
+//     the receiver before touching its fields — handles flow through
+//     the engine as "nil means disabled", so an unguarded method is a
+//     latent panic on every disabled deployment.
+var ObsLint = &Analyzer{
+	Name: "obslint",
+	Doc:  "obs handles bound+nil-checked, no clock reads outside the enabled branch, obs methods nil-safe",
+	Run:  runObsLint,
+}
+
+// obsHandleTypes are the nil-means-disabled handle types of internal/obs.
+var obsHandleTypes = map[string]bool{
+	"Registry": true, "Counter": true, "Gauge": true, "Histogram": true, "Span": true,
+}
+
+func runObsLint(pass *Pass) error {
+	inObs := strings.HasSuffix(pass.Path, "internal/obs")
+	for _, file := range pass.Files {
+		if inObs {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					checkNilSafeMethod(pass, fd)
+				}
+			}
+			continue
+		}
+		WalkWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkLoadChain(pass, n)
+			case *ast.CallExpr:
+				checkClockIntoObs(pass, n, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLoadChain flags `X.Load().field` where the loaded value is a
+// pointer to a struct carrying obs handles.
+func checkLoadChain(pass *Pass, sel *ast.SelectorExpr) {
+	call, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, ok := Callee(pass.Info, call).(*types.Func)
+	if !ok || fn.Name() != "Load" {
+		return
+	}
+	t := pass.Info.Types[call].Type
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return
+	}
+	st, ok := ptr.Elem().Underlying().(*types.Struct)
+	if !ok || !structCarriesObs(st) {
+		return
+	}
+	// Only field selections are dangerous; a method call on the result
+	// would be a method on the struct pointer, which can be nil-safe.
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		pass.Reportf(sel.Pos(), "field access on an unchecked Load() result: bind it first (`if m := x.Load(); m != nil { ... }`) so the disabled path is one branch")
+	}
+}
+
+// structCarriesObs reports whether st has a field whose type comes from
+// internal/obs.
+func structCarriesObs(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		t := st.Field(i).Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if tp := named.Obj().Pkg(); tp != nil && strings.HasSuffix(tp.Path(), "internal/obs") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkClockIntoObs flags obs recording calls whose arguments read the
+// clock outside a nil-guard.
+func checkClockIntoObs(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	if !IsMethodCall(pass.Info, call, "internal/obs", "", "") {
+		return
+	}
+	clock := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if IsPkgCall(pass.Info, c, "time", "Now") || IsPkgCall(pass.Info, c, "time", "Since") {
+					clock = true
+				}
+			}
+			return !clock
+		})
+	}
+	if !clock {
+		return
+	}
+	if HasNilGuardAncestor(stack) {
+		return
+	}
+	if reason, ok := pass.Directive(call.Pos(), "clock"); ok {
+		if reason == "" {
+			pass.Reportf(call.Pos(), "//quark:clock needs a justification")
+		}
+		return
+	}
+	pass.Reportf(call.Pos(), "clock read evaluated before the obs nil-check: hoist the call into `if m := ...; m != nil { ... }` so disabled means no clock read")
+}
+
+// checkNilSafeMethod enforces rule 3 inside internal/obs.
+func checkNilSafeMethod(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || !fd.Name.IsExported() {
+		return
+	}
+	recvField := fd.Recv.List[0]
+	ptr, ok := recvField.Type.(*ast.StarExpr)
+	if !ok {
+		return
+	}
+	tid, ok := ptr.X.(*ast.Ident)
+	if !ok || !obsHandleTypes[tid.Name] {
+		return
+	}
+	if len(recvField.Names) == 0 {
+		return
+	}
+	recv := pass.Info.Defs[recvField.Names[0]]
+	if recv == nil {
+		return
+	}
+	if reason, ok := pass.Directive(fd.Pos(), "nilsafe"); ok && reason != "" {
+		return
+	}
+
+	guardPos := token.NoPos
+	fieldPos := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if guardPos == token.NoPos && condNilChecksObj(pass, n.Cond, recv) {
+				guardPos = n.Pos()
+			}
+		case *ast.SelectorExpr:
+			id, ok := ast.Unparen(n.X).(*ast.Ident)
+			if !ok || pass.Info.Uses[id] != recv {
+				return true
+			}
+			if s, ok := pass.Info.Selections[n]; ok && s.Kind() == types.FieldVal {
+				if fieldPos == token.NoPos || n.Pos() < fieldPos {
+					fieldPos = n.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if fieldPos == token.NoPos {
+		return // pure delegation (e.g. Inc -> Add); the callee guards
+	}
+	if guardPos == token.NoPos || guardPos > fieldPos {
+		pass.Reportf(fd.Pos(), "exported method (*%s).%s touches receiver fields without a nil-receiver guard: handles are nil when observability is disabled", tid.Name, fd.Name.Name)
+	}
+}
+
+func condNilChecksObj(pass *Pass, cond ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+			return true
+		}
+		x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+		if isNilIdent(y) {
+			if id, ok := x.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				found = true
+			}
+		} else if isNilIdent(x) {
+			if id, ok := y.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,3 @@
+module determfix
+
+go 1.24

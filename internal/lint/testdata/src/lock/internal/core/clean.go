@@ -1,0 +1,19 @@
+package core
+
+// Footprint follows the documented order: metadata lock first, table
+// locks acquired through the blessed entry point while holding it.
+func (e *Engine) Footprint(table string) func() {
+	e.mu.RLock()
+	unlock := e.acquireLocks(map[string]bool{table: true}, nil)
+	e.mu.RUnlock()
+	return unlock
+}
+
+// Sequential releases the table locks before touching e.mu, so the
+// critical sections never overlap.
+func (e *Engine) Sequential(write map[string]bool) {
+	unlock := e.acquireLocks(write, nil)
+	unlock()
+	e.mu.Lock()
+	e.mu.Unlock()
+}

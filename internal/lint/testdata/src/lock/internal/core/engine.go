@@ -1,0 +1,33 @@
+// Package core is a locklint fixture: a miniature of the engine's lock
+// manager. acquireLocks is the blessed entry point; everything else
+// must go through it.
+package core
+
+import "sync"
+
+type Engine struct {
+	mu         sync.RWMutex
+	tableLocks map[string]*sync.RWMutex
+	lockOrder  []string
+}
+
+// acquireLocks is the one place allowed to touch tableLocks entries.
+func (e *Engine) acquireLocks(write, read map[string]bool) func() {
+	var held []func()
+	for _, t := range e.lockOrder {
+		l := e.tableLocks[t]
+		switch {
+		case write[t]:
+			l.Lock()
+			held = append(held, l.Unlock)
+		case read[t]:
+			l.RLock()
+			held = append(held, l.RUnlock)
+		}
+	}
+	return func() {
+		for i := len(held) - 1; i >= 0; i-- {
+			held[i]()
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package core
+
+// Direct bypasses acquireLocks on a tableLocks entry.
+func (e *Engine) Direct(table string) {
+	e.tableLocks[table].RLock()         // want "direct RLock on a tableLocks entry"
+	defer e.tableLocks[table].RUnlock() // want "direct RUnlock on a tableLocks entry"
+}
+
+// ViaLocal launders the entry through a local variable first.
+func (e *Engine) ViaLocal(table string) {
+	l := e.tableLocks[table]
+	l.Lock()   // want "direct Lock on a tableLocks entry"
+	l.Unlock() // want "direct Unlock on a tableLocks entry"
+}
+
+// MuAfterTables inverts the global order: table locks are still held
+// (the unlock is deferred) when e.mu is taken.
+func (e *Engine) MuAfterTables(write map[string]bool) {
+	unlock := e.acquireLocks(write, nil)
+	defer unlock()
+	e.mu.Lock() // want "e.mu.Lock while table locks from acquireLocks may still be held"
+	e.mu.Unlock()
+}

@@ -1,0 +1,3 @@
+module obsfix
+
+go 1.24

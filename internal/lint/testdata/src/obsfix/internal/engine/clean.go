@@ -1,0 +1,21 @@
+package engine
+
+import (
+	"time"
+
+	"obsfix/internal/obs"
+)
+
+// FireGuarded is the PR 7 idiom: bind, nil-check, and only then read
+// the clock — disabled means one branch and no clock read.
+func (e *Engine) FireGuarded() {
+	if m := e.obsp.Load(); m != nil {
+		m.fire.Since(time.Now())
+	}
+}
+
+// Calibrate feeds a clock reading into an obs handle on purpose and
+// says why.
+func Calibrate(h *obs.Histogram, t0 time.Time) {
+	h.Since(t0.Add(time.Since(t0))) //quark:clock fixture: calibration input, cost model not delivered bytes
+}

@@ -1,0 +1,31 @@
+// Package engine is the obslint fixture consumer: obs handles must be
+// bound and nil-checked before use, and clock reads must stay inside
+// the enabled branch.
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+
+	"obsfix/internal/obs"
+)
+
+type metrics struct {
+	fire *obs.Histogram
+}
+
+type Engine struct {
+	obsp atomic.Pointer[metrics]
+}
+
+// Peek chains a field access straight onto Load(): panics when
+// observability is detached.
+func (e *Engine) Peek() *obs.Histogram {
+	return e.obsp.Load().fire // want "field access on an unchecked Load"
+}
+
+// Fire reads the clock before any enabled-check: the disabled path
+// pays for time.Now.
+func (e *Engine) Fire(m *metrics) {
+	m.fire.Since(time.Now()) // want "clock read evaluated before the obs nil-check"
+}

@@ -1,0 +1,33 @@
+// Package obs is an obslint fixture mirror of the nil-means-disabled
+// handle types: every exported method must guard a nil receiver before
+// touching fields.
+package obs
+
+import "time"
+
+type Counter struct{ n int64 }
+
+// Add guards the receiver: safe on every disabled deployment.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// Inc is pure delegation; the callee guards.
+func (c *Counter) Inc() { c.Add(1) }
+
+type Histogram struct{ sum int64 }
+
+// Since touches h.sum with no nil check.
+func (h *Histogram) Since(t0 time.Time) { // want "touches receiver fields without a nil-receiver guard"
+	h.sum += int64(time.Since(t0))
+}
+
+type Gauge struct{ v int64 }
+
+// Set is exempted with a justification.
+//
+//quark:nilsafe fixture: pretend construction guarantees non-nil
+func (g *Gauge) Set(v int64) { g.v = v }

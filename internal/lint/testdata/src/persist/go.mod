@@ -1,0 +1,3 @@
+module persistfix
+
+go 1.24

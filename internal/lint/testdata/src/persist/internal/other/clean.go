@@ -1,0 +1,12 @@
+package other
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteReport writes an unprotected file: no durable-store contract
+// applies outside internal/outbox and internal/shard.
+func WriteReport(dir string, payload []byte) error {
+	return os.WriteFile(filepath.Join(dir, "report.json"), payload, 0o644)
+}

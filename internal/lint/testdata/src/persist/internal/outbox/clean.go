@@ -1,0 +1,16 @@
+package outbox
+
+import "os"
+
+// Frame stands in for the store's CRC framing helper.
+func Frame(payload []byte) []byte { return payload }
+
+// WriteCheckpoint is the blessed idiom: framed payload, tmp path,
+// atomic rename into place.
+func WriteCheckpoint(path string, payload []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, Frame(payload), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

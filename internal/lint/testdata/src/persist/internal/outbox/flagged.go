@@ -1,0 +1,36 @@
+// Package outbox is a persistlint fixture durable store: every
+// whole-file write here must be tmp-then-rename with CRC framing.
+package outbox
+
+import "os"
+
+// WriteCheckpointBad writes the final path directly: a torn write
+// clobbers the previous good state.
+func WriteCheckpointBad(path string, payload []byte) error {
+	return os.WriteFile(path, payload, 0o644) // want "os.WriteFile on a durable-store path"
+}
+
+// CreateBad truncates in place.
+func CreateBad(path string) error {
+	f, err := os.Create(path) // want "os.Create in a durable store"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WriteNoRename leaves the tmp file orphaned.
+func WriteNoRename(path string, payload []byte) error {
+	tmp := path + ".tmp"
+	return os.WriteFile(tmp, payload, 0o644) // want "never os.Rename"
+}
+
+// WriteNoFrame renames but writes raw bytes: torn or corrupt content
+// is undetectable at open.
+func WriteNoFrame(path string, payload []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, payload, 0o644); err != nil { // want "without CRC framing evidence"
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,3 @@
+module stagefix
+
+go 1.24

@@ -1,0 +1,34 @@
+// Package core is the stagelint fixture target: functions that receive
+// a *reldb.FireContext are prepare-phase roots, and nothing reachable
+// from them may hit a delivery primitive outside a stage guard.
+package core
+
+import (
+	"stagefix/internal/outbox"
+	"stagefix/internal/reldb"
+)
+
+type Engine struct {
+	ob   *outbox.Log
+	sink *outbox.Sink
+}
+
+// fire appends to the outbox directly from the prepare phase.
+func (e *Engine) fire(ctx *reldb.FireContext, payload []byte) error {
+	return e.ob.Append(payload) // want "outbox append reachable from prepare-phase function fire"
+}
+
+// fireViaHelper reaches the same primitive through a same-package
+// helper; the diagnostic lands on the helper's call site with the path.
+func (e *Engine) fireViaHelper(ctx *reldb.FireContext, payload []byte) error {
+	return e.emit(payload)
+}
+
+func (e *Engine) emit(payload []byte) error {
+	return e.ob.Append(payload) // want "outbox append reachable from prepare-phase function fireViaHelper -> emit"
+}
+
+// fireSink delivers straight to a sink.
+func (e *Engine) fireSink(ctx *reldb.FireContext, payload []byte) error {
+	return e.sink.Deliver(payload) // want "sink delivery reachable from prepare-phase function fireSink"
+}

@@ -1,0 +1,11 @@
+// Package outbox is a stagelint fixture mirror of the delivery
+// primitives the analyzer bans from prepare-phase reach.
+package outbox
+
+type Log struct{}
+
+func (l *Log) Append(payload []byte) error { return nil }
+
+type Sink struct{}
+
+func (s *Sink) Deliver(payload []byte) error { return nil }

@@ -1,0 +1,10 @@
+// Package reldb is a stagelint fixture mirror: the analyzer recognizes
+// prepare-phase functions by a *reldb.FireContext parameter.
+package reldb
+
+// FireContext carries the staging hook a trigger body must use for its
+// effects during the prepare phase.
+type FireContext struct {
+	Table string
+	Stage func(func() error) error
+}

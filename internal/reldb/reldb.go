@@ -381,7 +381,7 @@ func (db *DB) CreateIndex(table, col string) error {
 		return nil
 	}
 	ix := &index{col: ci, m: map[string]map[string]struct{}{}}
-	for pk, r := range td.rows {
+	for pk, r := range td.rows { //quark:sorted hash-index build: resulting index content is independent of insertion order
 		ix.add(r[ci], pk)
 	}
 	td.indexes[col] = ix
@@ -419,13 +419,13 @@ func (ix *index) remove(v xdm.Value, pk string) {
 }
 
 func (td *tableData) indexAdd(r Row, pk string) {
-	for _, ix := range td.indexes {
+	for _, ix := range td.indexes { //quark:sorted each index is maintained independently; no cross-index order dependence
 		ix.add(r[ix.col], pk)
 	}
 }
 
 func (td *tableData) indexRemove(r Row, pk string) {
-	for _, ix := range td.indexes {
+	for _, ix := range td.indexes { //quark:sorted each index is maintained independently; no cross-index order dependence
 		ix.remove(r[ix.col], pk)
 	}
 }
@@ -817,7 +817,7 @@ func (db *DB) Scan(table string, fn func(Row) bool) error {
 		return err
 	}
 	db.stats.fullScans.Add(1)
-	for _, r := range td.rows {
+	for _, r := range td.rows { //quark:sorted Scan's contract is unspecified order; deterministic consumers sort Δ/∇ rows by storage key (PR 3)
 		db.stats.rowsRead.Add(1)
 		if !fn(r) {
 			return nil
@@ -840,7 +840,7 @@ func (db *DB) Lookup(table, col string, v xdm.Value, fn func(Row) bool) error {
 			return fmt.Errorf("reldb: table %s has no column %q", table, col)
 		}
 		db.stats.fullScans.Add(1)
-		for _, r := range td.rows {
+		for _, r := range td.rows { //quark:sorted Lookup's contract is unspecified order, matching the index path below
 			db.stats.rowsRead.Add(1)
 			if xdm.Equal(r[ci], v) {
 				if !fn(r) {
@@ -851,7 +851,7 @@ func (db *DB) Lookup(table, col string, v xdm.Value, fn func(Row) bool) error {
 		return nil
 	}
 	db.stats.indexLookups.Add(1)
-	for pk := range ix.m[v.Key()] {
+	for pk := range ix.m[v.Key()] { //quark:sorted Lookup's contract is unspecified order; callers needing determinism sort downstream
 		db.stats.rowsRead.Add(1)
 		if !fn(td.rows[pk]) {
 			return nil
@@ -890,7 +890,7 @@ func (db *DB) AllRows(table string) []Row {
 		return nil
 	}
 	out := make([]Row, 0, len(td.rows))
-	for _, r := range td.rows {
+	for _, r := range td.rows { //quark:sorted documented contract: rows return in unspecified order, tests/diagnostics only
 		out = append(out, r)
 	}
 	return out

@@ -530,7 +530,7 @@ func (tx *Tx) Rollback() error {
 	tx.done = true
 	for _, t := range tx.order {
 		td := tx.db.tables[t]
-		for k, pre := range tx.touched[t] {
+		for k, pre := range tx.touched[t] { //quark:sorted rollback restores disjoint keys; final table state is order-independent
 			cur, exists := td.rows[k]
 			if exists {
 				td.indexRemove(cur, k)
@@ -544,7 +544,7 @@ func (tx *Tx) Rollback() error {
 	}
 	// Restore synthetic rowid counters for no-PK tables: the rows the
 	// transaction inserted are gone, so their allocated ids must be too.
-	for t, id := range tx.autoIDs {
+	for t, id := range tx.autoIDs { //quark:sorted per-table counter restore; entries are independent
 		tx.db.tables[t].autoID = id
 	}
 	return nil

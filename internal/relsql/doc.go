@@ -12,3 +12,10 @@
 // SQLite-dialect engine, so no cgo or external module is required either
 // way.
 package relsql
+
+import "errors"
+
+// ErrUnavailable is returned by every entry point when the backend is not
+// compiled in (build without the "sqlite" tag). It is declared outside the
+// build-tag pair so callers can errors.Is against it under either build.
+var ErrUnavailable = errors.New("relsql: real-database backend not compiled in (build with -tags sqlite)")

@@ -3,8 +3,6 @@
 package relsql
 
 import (
-	"errors"
-
 	"quark/internal/reldb"
 	"quark/internal/schema"
 	"quark/internal/xqgm"
@@ -12,10 +10,6 @@ import (
 
 // Available reports whether the real-database backend is compiled in.
 func Available() bool { return false }
-
-// ErrUnavailable is returned by every entry point when the backend is not
-// compiled in (build without the "sqlite" tag).
-var ErrUnavailable = errors.New("relsql: real-database backend not compiled in (build with -tags sqlite)")
 
 // Shadow is the no-op stand-in for the backend shadow.
 type Shadow struct{}

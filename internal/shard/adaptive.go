@@ -278,7 +278,7 @@ func (e *Engine) loadModes(dir string) error {
 		return fmt.Errorf("shard: persisted mode file corrupt")
 	}
 	modes := make(map[string]core.Mode, len(enc))
-	for sig, m := range enc {
+	for sig, m := range enc { //quark:sorted decode+validate: builds a map and rejects bad entries; order-independent outcome
 		if m < 0 || core.Mode(m) > core.ModeMaterialized {
 			return fmt.Errorf("shard: persisted mode file names unknown mode %d for group %q", m, sig)
 		}
@@ -289,7 +289,7 @@ func (e *Engine) loadModes(dir string) error {
 		if err := ce.SetModePolicy(nil); err != nil {
 			return err
 		}
-		for sig, m := range modes {
+		for sig, m := range modes { //quark:sorted seeding per-group modes; groups are independent and seeds commute
 			if err := ce.SeedGroupMode(sig, m); err != nil {
 				return err
 			}

@@ -141,13 +141,13 @@ func New(s *schema.Schema, cfg Config) (*Engine, error) {
 			_ = store.Close()
 			return nil, fmt.Errorf("shard: persisted directory has %d shards, config asks for %d", st.Shards, n)
 		}
-		for k, si := range st.Dir {
+		for k, si := range st.Dir { //quark:sorted validation only: any order rejects the same bad entry set
 			if si < 0 || si >= n {
 				_ = store.Close()
 				return nil, fmt.Errorf("shard: persisted directory entry %q references shard %d of %d", k, si, n)
 			}
 		}
-		for k, si := range st.Assign {
+		for k, si := range st.Assign { //quark:sorted validation only: any order rejects the same bad entry set
 			if si < 0 || si >= n {
 				_ = store.Close()
 				return nil, fmt.Errorf("shard: persisted group assignment %q references shard %d of %d", k, si, n)

@@ -245,7 +245,7 @@ func (e *Engine) Grow(n int) error {
 			if err := ce.SetModePolicy(nil); err != nil {
 				return err
 			}
-			for sig, m := range modes {
+			for sig, m := range modes { //quark:sorted seeding per-group modes; groups are independent and seeds commute
 				if err := ce.SeedGroupMode(sig, m); err != nil {
 					return err
 				}
@@ -329,7 +329,7 @@ func (e *Engine) Shrink(n int) error {
 		}
 	}
 	engines, dbs := e.fleet()
-	for k, s := range e.router.DirSnapshot() {
+	for k, s := range e.router.DirSnapshot() { //quark:sorted validation only: any order rejects the same bad entry set
 		if s >= n {
 			return fmt.Errorf("shard: Shrink(%d) left directory entry %q on retiring shard %d", n, k, s)
 		}
@@ -444,7 +444,7 @@ func (e *Engine) VerifyDirectory() error {
 	_, dbs := e.fleet()
 	n := len(dbs)
 	remaining := e.router.DirSnapshot()
-	for gk, s := range e.router.AssignSnapshot() {
+	for gk, s := range e.router.AssignSnapshot() { //quark:sorted validation only: any order rejects the same bad entry set
 		if s < 0 || s >= n {
 			return fmt.Errorf("shard: assignment %q targets shard %d of %d", gk, s, n)
 		}
@@ -495,7 +495,7 @@ func (e *Engine) VerifyDirectory() error {
 		}
 	}
 	if len(remaining) > 0 {
-		for k, s := range remaining {
+		for k, s := range remaining { //quark:sorted any leftover entry is fatal; which one surfaces first is diagnostic detail
 			return fmt.Errorf("shard: directory entry %q -> shard %d has no row", k, s)
 		}
 	}

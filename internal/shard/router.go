@@ -171,7 +171,15 @@ func NewRouter(s *schema.Schema, n int, overrides []TableRouting) (*Router, erro
 		r.routes[t.Name] = rt
 	}
 	// Validate parent links and build the child lists for migration.
-	for name, rt := range r.routes {
+	// Child lists drive subtree-migration order, so build them from a
+	// sorted walk rather than raw map iteration.
+	names := make([]string, 0, len(r.routes))
+	for name := range r.routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rt := r.routes[name]
 		if rt.parent == "" {
 			continue
 		}
